@@ -1,0 +1,157 @@
+// dfsadmin is an interactive shell over the simulated HDFS: it spins up a
+// fresh namenode/datanode cluster and accepts filesystem commands on
+// stdin, printing block placement and replication the way `hdfs fsck`
+// would. Useful for poking at the substrate's placement behaviour.
+//
+// Usage:
+//
+//	go run ./cmd/dfsadmin -nodes 4 <<'EOF'
+//	put /greeting hello world
+//	ls /
+//	locate /greeting
+//	stat /greeting
+//	cat /greeting
+//	rm /greeting
+//	EOF
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"m3r/internal/dfs"
+	"m3r/internal/sim"
+)
+
+var (
+	nodes     = flag.Int("nodes", 4, "datanode count")
+	blockSize = flag.Int64("blocksize", 64, "block size in bytes (small, to show splitting)")
+	repl      = flag.Int("replication", 2, "replication factor")
+)
+
+func main() {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "dfsadmin-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	hosts := make([]string, *nodes)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("node%d", i)
+	}
+	fs, err := dfs.NewHDFS(dfs.HDFSOptions{
+		Root:        dir,
+		Hosts:       hosts,
+		BlockSize:   *blockSize,
+		Replication: *repl,
+		Stats:       sim.NewStats(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated HDFS up: %d nodes, %dB blocks, replication %d\n", *nodes, *blockSize, *repl)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		if err := run(fs, cmd, args, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func run(fs *dfs.HDFS, cmd string, args []string, line string) error {
+	switch cmd {
+	case "put":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: put <path> <contents...>")
+		}
+		content := strings.SplitN(line, " ", 3)[2]
+		return dfs.WriteFile(fs, args[0], []byte(content))
+	case "cat":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: cat <path>")
+		}
+		b, err := dfs.ReadAll(fs, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	case "ls":
+		path := "/"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		ls, err := fs.List(path)
+		if err != nil {
+			return err
+		}
+		for _, st := range ls {
+			kind := "-"
+			if st.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %8d  %s\n", kind, st.Size, st.Path)
+		}
+		return nil
+	case "stat":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: stat <path>")
+		}
+		st, err := fs.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: size=%d dir=%v blocksize=%d replication=%d\n",
+			st.Path, st.Size, st.IsDir, st.BlockSize, st.Replication)
+		return nil
+	case "locate":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: locate <path>")
+		}
+		st, err := fs.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		locs, err := fs.BlockLocations(args[0], 0, st.Size)
+		if err != nil {
+			return err
+		}
+		for i, l := range locs {
+			fmt.Printf("block %d: offset=%d len=%d hosts=%s\n", i, l.Offset, l.Length, strings.Join(l.Hosts, ","))
+		}
+		return nil
+	case "rm":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: rm <path>")
+		}
+		return fs.Delete(args[0], true)
+	case "mv":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mv <src> <dst>")
+		}
+		return fs.Rename(args[0], args[1])
+	case "mkdir":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: mkdir <path>")
+		}
+		return fs.Mkdirs(args[0])
+	case "help":
+		fmt.Println("commands: put cat ls stat locate rm mv mkdir help")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}

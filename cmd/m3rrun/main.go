@@ -1,0 +1,138 @@
+// m3rrun runs a registered workload on a simulated cluster with either
+// engine, in integrated or server mode — a command-line JobClient.
+//
+// Usage:
+//
+//	go run ./cmd/m3rrun -job wordcount -engine m3r
+//	go run ./cmd/m3rrun -job matvec -engine hadoop -nodes 8
+//	go run ./cmd/m3rrun -job wordcount -engine m3r -server   # via TCP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"m3r/internal/engine"
+	"m3r/internal/lab"
+	"m3r/internal/matrix"
+	"m3r/internal/microbench"
+	"m3r/internal/server"
+	"m3r/internal/sysml"
+	"m3r/internal/wordcount"
+)
+
+var (
+	jobName    = flag.String("job", "wordcount", "workload: wordcount, matvec, microbench, pagerank, gnmf, linreg")
+	engineName = flag.String("engine", "m3r", "engine: m3r or hadoop")
+	nodes      = flag.Int("nodes", 4, "simulated cluster size")
+	iterations = flag.Int("iters", 3, "iterations for iterative workloads")
+	useServer  = flag.Bool("server", false, "submit through the TCP jobtracker protocol (server mode)")
+	sizeMB     = flag.Int64("mb", 4, "input size in MB (wordcount)")
+)
+
+func main() {
+	flag.Parse()
+	cluster, err := lab.New(lab.Options{Nodes: *nodes})
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	var eng engine.Engine
+	switch *engineName {
+	case "m3r":
+		eng = cluster.M3R
+	case "hadoop":
+		eng = cluster.Hadoop
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+	if *useServer {
+		srv, err := server.Serve(eng, "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("starting server: %v", err)
+		}
+		defer srv.Close()
+		client, err := server.Dial(srv.Addr())
+		if err != nil {
+			log.Fatalf("dialing server: %v", err)
+		}
+		fmt.Printf("submitting via server mode (%s)\n", srv.Addr())
+		eng = client
+	}
+
+	switch *jobName {
+	case "wordcount":
+		if err := wordcount.Generate(cluster.FS, "/data/text", *sizeMB<<20, 42); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := eng.Submit(wordcount.NewJob("/data/text", "/out/wc", *nodes, true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+		fmt.Print(rep.Counters)
+	case "matvec":
+		cfg := matrix.Config{
+			RowBlocks: 2 * *nodes, ColBlocks: 2 * *nodes, BlockSize: 100,
+			Sparsity: 0.01, Partitions: 2 * *nodes, Dir: "/mv", Seed: 7,
+		}
+		if err := matrix.Generate(cluster.FS, cfg); err != nil {
+			log.Fatal(err)
+		}
+		_, reports, err := matrix.RunIterations(eng, cfg, *iterations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	case "microbench":
+		cfg := microbench.Config{
+			Pairs: 2000, ValueBytes: 2048, Percent: 50,
+			Iterations: *iterations, Partitions: *nodes, Dir: "/mb", Seed: 1,
+		}
+		if err := microbench.Generate(cluster.FS, cfg); err != nil {
+			log.Fatal(err)
+		}
+		reports, err := microbench.Run(eng, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	case "pagerank", "gnmf", "linreg":
+		d, err := sysml.NewDriver(eng, "/sysml", *nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *jobName {
+		case "pagerank":
+			_, err = sysml.PageRank(d, sysml.PageRankConfig{
+				Nodes: 400, BlockSize: 100, Sparsity: 0.01, Iterations: *iterations, Seed: 21,
+			})
+		case "gnmf":
+			_, _, err = sysml.GNMF(d, sysml.GNMFConfig{
+				Rows: 400, Cols: 200, Rank: 10, BlockSize: 100,
+				Sparsity: 0.01, Iterations: *iterations, Seed: 41,
+			})
+		case "linreg":
+			_, err = sysml.LinReg(d, sysml.LinRegConfig{
+				Points: 400, Vars: 100, BlockSize: 100, Iterations: *iterations, Seed: 31,
+			})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range d.Reports {
+			fmt.Println(r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown job %q\n", *jobName)
+		os.Exit(2)
+	}
+}

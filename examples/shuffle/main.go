@@ -1,0 +1,53 @@
+// The §6.1 shuffle microbenchmark (Fig. 6): sweep the fraction of remotely
+// shuffled pairs and run the 3-iteration pipeline on both engines. Hadoop's
+// time is flat in the remote ratio (everything goes through disk anyway);
+// M3R's is linear in it, with iterations 2–3 cheaper thanks to the cache.
+//
+// Run with:
+//
+//	go run ./examples/shuffle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m3r/internal/engine"
+	"m3r/internal/lab"
+	"m3r/internal/microbench"
+)
+
+func main() {
+	cluster, err := lab.New(lab.Options{Nodes: 4})
+	if err != nil {
+		log.Fatalf("building cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	fmt.Println("remote%   engine   iter1      iter2      iter3")
+	for _, percent := range []int{0, 50, 100} {
+		for _, eng := range []engine.Engine{cluster.Hadoop, cluster.M3R} {
+			cfg := microbench.Config{
+				Pairs:      2000,
+				ValueBytes: 2048,
+				Percent:    percent,
+				Iterations: 3,
+				Partitions: 4,
+				Dir:        fmt.Sprintf("/micro-%s-%d", eng.Name(), percent),
+				Seed:       1,
+			}
+			if err := microbench.Generate(cluster.FS, cfg); err != nil {
+				log.Fatalf("generate: %v", err)
+			}
+			reports, err := microbench.Run(eng, cfg)
+			if err != nil {
+				log.Fatalf("%s at %d%%: %v", eng.Name(), percent, err)
+			}
+			fmt.Printf("%6d%%   %-7s", percent, eng.Name())
+			for _, r := range reports {
+				fmt.Printf("  %-9v", r.Wall.Round(1000))
+			}
+			fmt.Println()
+		}
+	}
+}

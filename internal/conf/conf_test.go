@@ -1,0 +1,168 @@
+package conf_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/wio"
+)
+
+func TestBasicAccessors(t *testing.T) {
+	c := conf.New()
+	c.Set("a", "1")
+	c.SetInt("b", 42)
+	c.SetInt64("c", 1<<40)
+	c.SetBool("d", true)
+	c.SetFloat("e", 2.5)
+	c.SetStrings("f", "x", "y", "z")
+
+	if c.Get("a") != "1" {
+		t.Error("Get a")
+	}
+	if c.GetInt("b", 0) != 42 {
+		t.Error("GetInt")
+	}
+	if c.GetInt64("c", 0) != 1<<40 {
+		t.Error("GetInt64")
+	}
+	if !c.GetBool("d", false) {
+		t.Error("GetBool")
+	}
+	if c.GetFloat("e", 0) != 2.5 {
+		t.Error("GetFloat")
+	}
+	if got := c.GetStrings("f"); len(got) != 3 || got[1] != "y" {
+		t.Errorf("GetStrings: %v", got)
+	}
+	if c.GetInt("missing", 7) != 7 {
+		t.Error("default int")
+	}
+	if c.GetDefault("missing", "dflt") != "dflt" {
+		t.Error("default string")
+	}
+	if !c.Has("a") || c.Has("missing") {
+		t.Error("Has")
+	}
+	c.Unset("a")
+	if c.Has("a") {
+		t.Error("Unset")
+	}
+	if c.GetInt("f", 9) != 9 {
+		t.Error("malformed int should return default")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	c := conf.New()
+	c.Set("k", "v")
+	d := c.Clone()
+	d.Set("k", "other")
+	if c.Get("k") != "v" {
+		t.Error("clone mutated original")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	c := conf.New()
+	c.Set("one", "1")
+	c.Set("two", "2")
+	var buf bytes.Buffer
+	if err := c.WriteTo(wio.NewWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	d := conf.New()
+	if err := d.ReadFields(wio.NewReader(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Get("one") != "1" || d.Get("two") != "2" || d.Len() != 2 {
+		t.Errorf("round trip lost data: %s", d)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := conf.New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.SetInt("key", i)
+				_ = c.GetInt("key", 0)
+				_ = c.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestJobConfHelpers(t *testing.T) {
+	j := conf.NewJob()
+	j.SetJobName("test-job")
+	j.SetNumReduceTasks(7)
+	j.AddInputPath("/a")
+	j.AddInputPath("/b")
+	j.SetOutputPath("/out")
+	j.SetMapperClass("M")
+	j.SetReducerClass("R")
+
+	if j.JobName() != "test-job" {
+		t.Error("JobName")
+	}
+	if j.NumReduceTasks() != 7 {
+		t.Error("NumReduceTasks")
+	}
+	if got := j.InputPaths(); len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("InputPaths: %v", got)
+	}
+	if j.OutputPath() != "/out" {
+		t.Error("OutputPath")
+	}
+	empty := conf.NewJob()
+	if empty.NumReduceTasks() != 1 {
+		t.Error("default reducers should be 1")
+	}
+	if empty.JobName() != "(unnamed)" {
+		t.Error("default job name")
+	}
+}
+
+func TestMapOutputClassFallback(t *testing.T) {
+	j := conf.NewJob()
+	j.SetOutputKeyClass("K")
+	j.SetOutputValueClass("V")
+	if j.MapOutputKeyClass() != "K" || j.MapOutputValueClass() != "V" {
+		t.Error("map output classes should fall back to job output classes")
+	}
+	j.SetMapOutputKeyClass("MK")
+	if j.MapOutputKeyClass() != "MK" {
+		t.Error("explicit map output key class wins")
+	}
+}
+
+// TestIsTemporaryOutput covers the §4.2.3 temporary-output conventions.
+func TestIsTemporaryOutput(t *testing.T) {
+	j := conf.NewJob()
+	if !j.IsTemporaryOutput("/data/temp_iteration1") {
+		t.Error("default prefix should match")
+	}
+	if j.IsTemporaryOutput("/data/output1") {
+		t.Error("non-prefixed path is not temporary")
+	}
+	if j.IsTemporaryOutput("/temp/output") {
+		t.Error("prefix applies to the base name only")
+	}
+	// Custom prefix via configuration.
+	j.Set(conf.KeyTempPrefix, "scratch")
+	if !j.IsTemporaryOutput("/data/scratch5") || j.IsTemporaryOutput("/data/temp5") {
+		t.Error("custom prefix not honoured")
+	}
+	// Explicit list.
+	j2 := conf.NewJob()
+	j2.SetStrings(conf.KeyTempPaths, "/exact/path")
+	if !j2.IsTemporaryOutput("/exact/path") {
+		t.Error("explicit temp path list not honoured")
+	}
+}

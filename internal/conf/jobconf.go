@@ -1,0 +1,171 @@
+package conf
+
+import "strings"
+
+// Well-known configuration keys. Names follow Hadoop 0.22 conventions where
+// one exists; M3R-specific extensions live under the "m3r." prefix exactly
+// as the paper describes communicating extra information "by adding settings
+// to the job configuration" (§4.2.3).
+const (
+	KeyJobName           = "mapred.job.name"
+	KeyNumReducers       = "mapred.reduce.tasks"
+	KeyMapperClass       = "mapred.mapper.class"
+	KeyReducerClass      = "mapred.reducer.class"
+	KeyCombinerClass     = "mapred.combiner.class"
+	KeyMapRunnerClass    = "mapred.map.runner.class"
+	KeyPartitionerClass  = "mapred.partitioner.class"
+	KeyInputFormatClass  = "mapred.input.format.class"
+	KeyOutputFormatClass = "mapred.output.format.class"
+
+	// New-style API component keys (org.apache.hadoop.mapreduce.*). A job
+	// sets either the mapred or the mapreduce key for each role; engines
+	// accept any combination of old and new components (§5.3).
+	KeyNewMapperClass   = "mapreduce.map.class"
+	KeyNewReducerClass  = "mapreduce.reduce.class"
+	KeyNewCombinerClass = "mapreduce.combine.class"
+
+	KeyInputPaths              = "mapred.input.dir"
+	KeyOutputPath              = "mapred.output.dir"
+	KeyMapOutputKeyClass       = "mapred.mapoutput.key.class"
+	KeyMapOutputValueClass     = "mapred.mapoutput.value.class"
+	KeyOutputKeyClass          = "mapred.output.key.class"
+	KeyOutputValueClass        = "mapred.output.value.class"
+	KeySortComparatorClass     = "mapred.output.key.comparator.class"
+	KeyGroupingComparatorClass = "mapred.output.value.groupfn.class"
+
+	KeyNumMapTasks           = "mapred.map.tasks" // hint, as in Hadoop
+	KeySortMB                = "io.sort.mb"
+	KeyMaxMapAttempts        = "mapred.map.max.attempts"
+	KeyFSInstance            = "fs.instance.id" // which registered FileSystem to use
+	KeyJobEndNotificationURL = "job.end.notification.url"
+	KeyJobQueueName          = "mapred.job.queue.name"
+	KeyDistributedCacheFiles = "mapred.cache.files"
+	KeySpeculative           = "mapred.map.tasks.speculative.execution"
+
+	// M3R extensions (§4).
+	KeyTempPrefix  = "m3r.temp.output.prefix" // default "temp"
+	KeyTempPaths   = "m3r.temp.output.paths"  // explicit list alternative
+	KeyForceHadoop = "m3r.job.force.hadoop"   // submit this job to Hadoop even under M3R
+	KeyM3RDedup    = "m3r.shuffle.dedup"      // default true
+	KeyM3RCache    = "m3r.cache.enabled"      // default true
+)
+
+// DefaultTempPrefix is the output-basename prefix that marks a path as
+// temporary (not written to the backing filesystem) under M3R (§4.2.3).
+const DefaultTempPrefix = "temp"
+
+// JobConf is a Configuration with job-shaped accessors. The zero value is
+// not usable; construct with NewJob.
+type JobConf struct {
+	*Configuration
+}
+
+// NewJob returns an empty JobConf.
+func NewJob() *JobConf {
+	return &JobConf{Configuration: New()}
+}
+
+// WrapJob adapts an existing Configuration into a JobConf view.
+func WrapJob(c *Configuration) *JobConf { return &JobConf{Configuration: c} }
+
+// CloneJob returns a deep copy of the JobConf.
+func (j *JobConf) CloneJob() *JobConf { return &JobConf{Configuration: j.Configuration.Clone()} }
+
+// SetJobName names the job for reports.
+func (j *JobConf) SetJobName(name string) { j.Set(KeyJobName, name) }
+
+// JobName returns the job's display name.
+func (j *JobConf) JobName() string { return j.GetDefault(KeyJobName, "(unnamed)") }
+
+// SetNumReduceTasks sets the number of reducers (0 = map-only job).
+func (j *JobConf) SetNumReduceTasks(n int) { j.SetInt(KeyNumReducers, n) }
+
+// NumReduceTasks returns the configured reducer count (default 1).
+func (j *JobConf) NumReduceTasks() int { return j.GetInt(KeyNumReducers, 1) }
+
+// SetMapperClass sets the old-style mapper by registered name.
+func (j *JobConf) SetMapperClass(name string) { j.Set(KeyMapperClass, name) }
+
+// SetReducerClass sets the old-style reducer by registered name.
+func (j *JobConf) SetReducerClass(name string) { j.Set(KeyReducerClass, name) }
+
+// SetCombinerClass sets the old-style combiner by registered name.
+func (j *JobConf) SetCombinerClass(name string) { j.Set(KeyCombinerClass, name) }
+
+// SetPartitionerClass sets the partitioner by registered name.
+func (j *JobConf) SetPartitionerClass(name string) { j.Set(KeyPartitionerClass, name) }
+
+// SetMapRunnerClass sets a custom MapRunnable by registered name.
+func (j *JobConf) SetMapRunnerClass(name string) { j.Set(KeyMapRunnerClass, name) }
+
+// SetInputFormatClass sets the input format by registered name.
+func (j *JobConf) SetInputFormatClass(name string) { j.Set(KeyInputFormatClass, name) }
+
+// SetOutputFormatClass sets the output format by registered name.
+func (j *JobConf) SetOutputFormatClass(name string) { j.Set(KeyOutputFormatClass, name) }
+
+// AddInputPath appends an input path.
+func (j *JobConf) AddInputPath(p string) {
+	cur := j.Get(KeyInputPaths)
+	if cur == "" {
+		j.Set(KeyInputPaths, p)
+		return
+	}
+	j.Set(KeyInputPaths, cur+","+p)
+}
+
+// InputPaths returns the configured input paths.
+func (j *JobConf) InputPaths() []string { return j.GetStrings(KeyInputPaths) }
+
+// SetOutputPath sets the job output directory.
+func (j *JobConf) SetOutputPath(p string) { j.Set(KeyOutputPath, p) }
+
+// OutputPath returns the job output directory.
+func (j *JobConf) OutputPath() string { return j.Get(KeyOutputPath) }
+
+// SetMapOutputKeyClass declares the map-output key type by registered name.
+func (j *JobConf) SetMapOutputKeyClass(name string) { j.Set(KeyMapOutputKeyClass, name) }
+
+// SetMapOutputValueClass declares the map-output value type.
+func (j *JobConf) SetMapOutputValueClass(name string) { j.Set(KeyMapOutputValueClass, name) }
+
+// SetOutputKeyClass declares the job-output key type by registered name.
+func (j *JobConf) SetOutputKeyClass(name string) { j.Set(KeyOutputKeyClass, name) }
+
+// SetOutputValueClass declares the job-output value type.
+func (j *JobConf) SetOutputValueClass(name string) { j.Set(KeyOutputValueClass, name) }
+
+// MapOutputKeyClass returns the map-output key type name, falling back to
+// the job-output key class as Hadoop does.
+func (j *JobConf) MapOutputKeyClass() string {
+	if v := j.Get(KeyMapOutputKeyClass); v != "" {
+		return v
+	}
+	return j.Get(KeyOutputKeyClass)
+}
+
+// MapOutputValueClass returns the map-output value type name, falling back
+// to the job-output value class.
+func (j *JobConf) MapOutputValueClass() string {
+	if v := j.Get(KeyMapOutputValueClass); v != "" {
+		return v
+	}
+	return j.Get(KeyOutputValueClass)
+}
+
+// IsTemporaryOutput reports whether path is a temporary output for M3R: its
+// base name starts with the configured prefix, or it appears in the explicit
+// temporary-paths list (§4.2.3).
+func (j *JobConf) IsTemporaryOutput(path string) bool {
+	for _, p := range j.GetStrings(KeyTempPaths) {
+		if p == path {
+			return true
+		}
+	}
+	base := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		base = path[i+1:]
+	}
+	prefix := j.GetDefault(KeyTempPrefix, DefaultTempPrefix)
+	return prefix != "" && strings.HasPrefix(base, prefix)
+}

@@ -1,0 +1,224 @@
+// Package counters implements Hadoop-style job counters: named 64-bit
+// accumulators grouped into counter groups, incremented from tasks and
+// aggregated into the job report. Both engines keep the standard system
+// counters updated (map input/output records, shuffled bytes, spilled
+// records, …) alongside user counters, as the paper notes M3R does (§5.3).
+package counters
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"m3r/internal/wio"
+)
+
+// Standard counter groups and names maintained by the engines.
+const (
+	TaskGroup = "org.apache.hadoop.mapred.Task$Counter"
+	JobGroup  = "org.apache.hadoop.mapred.JobInProgress$Counter"
+	M3RGroup  = "m3r.EngineCounters"
+
+	MapInputRecords      = "MAP_INPUT_RECORDS"
+	MapOutputRecords     = "MAP_OUTPUT_RECORDS"
+	MapOutputBytes       = "MAP_OUTPUT_BYTES"
+	CombineInputRecords  = "COMBINE_INPUT_RECORDS"
+	CombineOutputRecords = "COMBINE_OUTPUT_RECORDS"
+	ReduceInputGroups    = "REDUCE_INPUT_GROUPS"
+	ReduceInputRecords   = "REDUCE_INPUT_RECORDS"
+	ReduceOutputRecords  = "REDUCE_OUTPUT_RECORDS"
+	ReduceShuffleBytes   = "REDUCE_SHUFFLE_BYTES"
+	SpilledRecords       = "SPILLED_RECORDS"
+	TotalLaunchedMaps    = "TOTAL_LAUNCHED_MAPS"
+	TotalLaunchedReduces = "TOTAL_LAUNCHED_REDUCES"
+	DataLocalMaps        = "DATA_LOCAL_MAPS"
+
+	// M3R-specific counters.
+	CacheHitSplits     = "CACHE_HIT_SPLITS"
+	CacheMissSplits    = "CACHE_MISS_SPLITS"
+	LocalShufflePairs  = "LOCAL_SHUFFLE_PAIRS"
+	RemoteShufflePairs = "REMOTE_SHUFFLE_PAIRS"
+	RemoteShuffleBytes = "REMOTE_SHUFFLE_BYTES"
+	ClonedPairs        = "CLONED_PAIRS"
+	AliasedPairs       = "ALIASED_PAIRS"
+	DedupHits          = "DEDUP_HITS"
+	TempOutputsElided  = "TEMP_OUTPUTS_ELIDED"
+)
+
+// Counter is a single named accumulator, safe for concurrent use.
+type Counter struct {
+	group, name string
+	value       atomic.Int64
+}
+
+// Group returns the counter's group name.
+func (c *Counter) Group() string { return c.group }
+
+// Name returns the counter's name within its group.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.value.Load() }
+
+// Increment adds amount (which may be negative).
+func (c *Counter) Increment(amount int64) { c.value.Add(amount) }
+
+// SetValue overwrites the value.
+func (c *Counter) SetValue(v int64) { c.value.Store(v) }
+
+// Counters is a concurrent group->name->Counter registry.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]map[string]*Counter
+}
+
+// New returns an empty counter set.
+func New() *Counters {
+	return &Counters{m: make(map[string]map[string]*Counter)}
+}
+
+// Find returns (creating if necessary) the counter group/name.
+func (cs *Counters) Find(group, name string) *Counter {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	g, ok := cs.m[group]
+	if !ok {
+		g = make(map[string]*Counter)
+		cs.m[group] = g
+	}
+	c, ok := g[name]
+	if !ok {
+		c = &Counter{group: group, name: name}
+		g[name] = c
+	}
+	return c
+}
+
+// Incr adds amount to the counter group/name.
+func (cs *Counters) Incr(group, name string, amount int64) {
+	cs.Find(group, name).Increment(amount)
+}
+
+// Value returns the current value of group/name (0 when absent).
+func (cs *Counters) Value(group, name string) int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if g, ok := cs.m[group]; ok {
+		if c, ok := g[name]; ok {
+			return c.Value()
+		}
+	}
+	return 0
+}
+
+// MergeFrom adds every counter in other into the receiver. Engines use it
+// to aggregate per-task counters into the job total.
+func (cs *Counters) MergeFrom(other *Counters) {
+	for _, gname := range other.Groups() {
+		for _, c := range other.GroupCounters(gname) {
+			cs.Incr(gname, c.Name(), c.Value())
+		}
+	}
+}
+
+// Groups returns the sorted group names.
+func (cs *Counters) Groups() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]string, 0, len(cs.m))
+	for g := range cs.m {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupCounters returns the counters of a group sorted by name.
+func (cs *Counters) GroupCounters(group string) []*Counter {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	g := cs.m[group]
+	out := make([]*Counter, 0, len(g))
+	for _, c := range g {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WriteTo implements wio.Writable so counters travel in server-mode reports.
+func (cs *Counters) WriteTo(w *wio.Writer) error {
+	groups := cs.Groups()
+	if err := w.WriteUvarint(uint64(len(groups))); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if err := w.WriteString(g); err != nil {
+			return err
+		}
+		counters := cs.GroupCounters(g)
+		if err := w.WriteUvarint(uint64(len(counters))); err != nil {
+			return err
+		}
+		for _, c := range counters {
+			if err := w.WriteString(c.Name()); err != nil {
+				return err
+			}
+			if err := w.WriteVarint(c.Value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFields implements wio.Writable.
+func (cs *Counters) ReadFields(r *wio.Reader) error {
+	cs.mu.Lock()
+	cs.m = make(map[string]map[string]*Counter)
+	cs.mu.Unlock()
+	ng, err := r.ReadUvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ng; i++ {
+		g, err := r.ReadString()
+		if err != nil {
+			return err
+		}
+		nc, err := r.ReadUvarint()
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nc; j++ {
+			name, err := r.ReadString()
+			if err != nil {
+				return err
+			}
+			v, err := r.ReadVarint()
+			if err != nil {
+				return err
+			}
+			cs.Find(g, name).SetValue(v)
+		}
+	}
+	return nil
+}
+
+func init() {
+	wio.Register("org.apache.hadoop.mapred.Counters", func() wio.Writable { return New() })
+}
+
+// String renders all counters for logs and reports.
+func (cs *Counters) String() string {
+	var sb strings.Builder
+	for _, g := range cs.Groups() {
+		fmt.Fprintf(&sb, "%s\n", g)
+		for _, c := range cs.GroupCounters(g) {
+			fmt.Fprintf(&sb, "  %s=%d\n", c.Name(), c.Value())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,356 @@
+package dfs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"m3r/internal/dfs"
+	"m3r/internal/sim"
+)
+
+func newHDFS(t *testing.T, blockSize int64, hosts []string, repl int) *dfs.HDFS {
+	t.Helper()
+	fs, err := dfs.NewHDFS(dfs.HDFSOptions{
+		Root:        t.TempDir(),
+		Hosts:       hosts,
+		BlockSize:   blockSize,
+		Replication: repl,
+		Stats:       sim.NewStats(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestPathHelpers(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"a/b", "/a/b"},
+		{"/a//b/", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/../b", "/b"},
+		{"/../x", "/x"},
+	}
+	for _, c := range cases {
+		if got := dfs.CleanPath(c.in); got != c.want {
+			t.Errorf("CleanPath(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+	if dfs.Parent("/a/b/c") != "/a/b" || dfs.Parent("/a") != "/" || dfs.Parent("/") != "/" {
+		t.Error("Parent")
+	}
+	if dfs.Base("/a/b/c") != "c" || dfs.Base("/") != "/" {
+		t.Error("Base")
+	}
+	if dfs.Join("/a", "b", "c") != "/a/b/c" {
+		t.Error("Join")
+	}
+	if !dfs.IsAncestor("/a", "/a/b") || !dfs.IsAncestor("/", "/x") || dfs.IsAncestor("/a", "/ab") {
+		t.Error("IsAncestor")
+	}
+	anc := dfs.Ancestors("/a/b")
+	if len(anc) != 3 || anc[0] != "/" || anc[2] != "/a/b" {
+		t.Errorf("Ancestors: %v", anc)
+	}
+}
+
+func TestHDFSWriteReadSmall(t *testing.T) {
+	fs := newHDFS(t, 1024, []string{"node0"}, 1)
+	data := []byte("hello, distributed world")
+	if err := dfs.WriteFile(fs, "/dir/file", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(fs, "/dir/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+	st, err := fs.Stat("/dir/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(data)) || st.IsDir {
+		t.Errorf("stat: %+v", st)
+	}
+	// Parent dirs created implicitly.
+	st, err = fs.Stat("/dir")
+	if err != nil || !st.IsDir {
+		t.Errorf("parent dir: %+v err=%v", st, err)
+	}
+}
+
+// TestHDFSMultiBlockRoundTrip is the core property: any content round
+// trips across block boundaries.
+func TestHDFSMultiBlockRoundTrip(t *testing.T) {
+	fs := newHDFS(t, 64, []string{"node0", "node1", "node2"}, 1)
+	f := func(data []byte) bool {
+		path := fmt.Sprintf("/f%d", rand.Int63())
+		if err := dfs.WriteFile(fs, path, data); err != nil {
+			return false
+		}
+		got, err := dfs.ReadAll(fs, path)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Also exercise sizes straddling exact block multiples, which quick is
+	// unlikely to hit.
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		data := bytes.Repeat([]byte{0xA5}, n)
+		if !f(data) {
+			t.Fatalf("round trip failed for size %d", n)
+		}
+	}
+}
+
+func TestHDFSSeekAcrossBlocks(t *testing.T) {
+	fs := newHDFS(t, 100, []string{"node0", "node1"}, 1)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := dfs.WriteFile(fs, "/big", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, off := range []int64{0, 99, 100, 101, 250, 999, 500} {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		var b [7]byte
+		n, err := io.ReadFull(f, b[:])
+		if off+7 <= 1000 && (err != nil || n != 7) {
+			t.Fatalf("read at %d: n=%d err=%v", off, n, err)
+		}
+		for i := 0; i < n; i++ {
+			if b[i] != byte((int(off)+i)%251) {
+				t.Fatalf("byte at %d+%d wrong", off, i)
+			}
+		}
+	}
+	// Seek relative and from end.
+	if pos, _ := f.Seek(-10, io.SeekEnd); pos != 990 {
+		t.Errorf("SeekEnd: %d", pos)
+	}
+	if pos, _ := f.Seek(5, io.SeekCurrent); pos != 995 {
+		t.Errorf("SeekCurrent: %d", pos)
+	}
+}
+
+func TestHDFSBlockPlacementAndLocality(t *testing.T) {
+	hosts := []string{"node0", "node1", "node2"}
+	fs := newHDFS(t, 128, hosts, 2)
+	data := make([]byte, 1000) // 8 blocks
+	if err := dfs.WriteFile(fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations("/f", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 8 {
+		t.Fatalf("blocks: %d", len(locs))
+	}
+	for _, l := range locs {
+		if len(l.Hosts) != 2 {
+			t.Errorf("replication: %v", l.Hosts)
+		}
+	}
+	// Range query returns only overlapping blocks.
+	locs, err = fs.BlockLocations("/f", 130, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 1 || locs[0].Offset != 128 {
+		t.Errorf("range locations: %+v", locs)
+	}
+	// Placement hint: first replica on the hinted host.
+	w, err := fs.CreateOn("/hinted", "node2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(make([]byte, 10))
+	w.Close()
+	locs, _ = fs.BlockLocations("/hinted", 0, 10)
+	if locs[0].Hosts[0] != "node2" {
+		t.Errorf("placement hint ignored: %v", locs[0].Hosts)
+	}
+}
+
+func TestHDFSErrors(t *testing.T) {
+	fs := newHDFS(t, 1024, nil, 1)
+	if _, err := fs.Open("/missing"); !errors.Is(err, dfs.ErrNotFound) {
+		t.Errorf("open missing: %v", err)
+	}
+	if err := dfs.WriteFile(fs, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/f"); !errors.Is(err, dfs.ErrExists) {
+		t.Errorf("create existing: %v", err)
+	}
+	if _, err := fs.Open("/"); !errors.Is(err, dfs.ErrIsDirectory) {
+		t.Errorf("open dir: %v", err)
+	}
+	if err := fs.Delete("/missing", false); !errors.Is(err, dfs.ErrNotFound) {
+		t.Errorf("delete missing: %v", err)
+	}
+	if err := fs.Mkdirs("/f/sub"); err == nil {
+		t.Error("mkdirs through a file should fail")
+	}
+	if err := fs.Rename("/f", "/f2"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") || !fs.Exists("/f2") {
+		t.Error("rename")
+	}
+	if err := dfs.WriteFile(fs, "/g", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/g", "/f2"); !errors.Is(err, dfs.ErrExists) {
+		t.Errorf("rename over existing: %v", err)
+	}
+}
+
+func TestHDFSRenameSubtree(t *testing.T) {
+	fs := newHDFS(t, 1024, nil, 1)
+	dfs.WriteFile(fs, "/a/x", []byte("1"))
+	dfs.WriteFile(fs, "/a/sub/y", []byte("2"))
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dfs.ReadAll(fs, "/b/sub/y"); string(got) != "2" {
+		t.Errorf("subtree content: %q", got)
+	}
+	if fs.Exists("/a/x") {
+		t.Error("old path still exists")
+	}
+	if err := fs.Rename("/b", "/b/inside"); err == nil {
+		t.Error("rename into own subtree should fail")
+	}
+}
+
+func TestHDFSDeleteRecursive(t *testing.T) {
+	fs := newHDFS(t, 1024, nil, 1)
+	dfs.WriteFile(fs, "/d/x", []byte("1"))
+	dfs.WriteFile(fs, "/d/y", []byte("2"))
+	if err := fs.Delete("/d", false); err == nil {
+		t.Error("non-recursive delete of non-empty dir should fail")
+	}
+	if err := fs.Delete("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") || fs.Exists("/d/x") {
+		t.Error("delete left entries")
+	}
+}
+
+func TestHDFSList(t *testing.T) {
+	fs := newHDFS(t, 1024, nil, 1)
+	dfs.WriteFile(fs, "/dir/b", []byte("1"))
+	dfs.WriteFile(fs, "/dir/a", []byte("2"))
+	fs.Mkdirs("/dir/sub")
+	dfs.WriteFile(fs, "/dir/sub/deep", []byte("3"))
+	ls, err := fs.List("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 3 || ls[0].Path != "/dir/a" || ls[1].Path != "/dir/b" || !ls[2].IsDir {
+		t.Errorf("list: %+v", ls)
+	}
+	all, err := dfs.ListRecursive(fs, "/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("recursive: %+v", all)
+	}
+}
+
+func TestHDFSConcurrentWriters(t *testing.T) {
+	fs := newHDFS(t, 256, []string{"node0", "node1"}, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/c/file%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 700)
+			if err := dfs.WriteFile(fs, path, data); err != nil {
+				t.Errorf("write %s: %v", path, err)
+				return
+			}
+			got, err := dfs.ReadAll(fs, path)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Errorf("read back %s failed: %v", path, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLocalFS(t *testing.T) {
+	fs, err := dfs.NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.WriteFile(fs, "/sub/file.txt", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(fs, "/sub/file.txt")
+	if err != nil || string(got) != "local" {
+		t.Fatalf("read: %q %v", got, err)
+	}
+	if _, err := fs.Create("/sub/file.txt"); !errors.Is(err, dfs.ErrExists) {
+		t.Errorf("create existing: %v", err)
+	}
+	locs, err := fs.BlockLocations("/sub/file.txt", 0, 5)
+	if err != nil || len(locs) != 1 || locs[0].Hosts[0] != "localhost" {
+		t.Errorf("locations: %+v %v", locs, err)
+	}
+	if err := fs.Rename("/sub/file.txt", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/sub/file.txt") || !fs.Exists("/moved") {
+		t.Error("rename")
+	}
+	ls, err := fs.List("/")
+	if err != nil || len(ls) != 2 {
+		t.Errorf("list: %+v %v", ls, err)
+	}
+}
+
+func TestInstanceRegistry(t *testing.T) {
+	fs, _ := dfs.NewLocal(t.TempDir())
+	id := dfs.RegisterInstance(fs)
+	got, err := dfs.Instance(id)
+	if err != nil || got != dfs.FileSystem(fs) {
+		t.Fatalf("instance: %v", err)
+	}
+	dfs.DropInstance(id)
+	if _, err := dfs.Instance(id); err == nil {
+		t.Error("dropped instance should be gone")
+	}
+	dfs.SetInstance("explicit", fs)
+	if _, err := dfs.Instance("explicit"); err != nil {
+		t.Error(err)
+	}
+	dfs.DropInstance("explicit")
+}

@@ -1,0 +1,245 @@
+// Package dfs defines the filesystem abstraction jobs read from and write
+// to, with two implementations: a simulated HDFS (namenode metadata, block
+// placement, replication accounting, locality) whose blocks are real files
+// on local disk, and a plain local filesystem. The simulation substitutes
+// for the paper's HDFS cluster: both engines pay genuine I/O and
+// serialization costs through it, and map scheduling can exploit block
+// locality the way Hadoop does.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when a path does not exist.
+var ErrNotFound = errors.New("dfs: no such file or directory")
+
+// ErrExists is returned when a create/rename target already exists.
+var ErrExists = errors.New("dfs: path already exists")
+
+// ErrIsDirectory is returned when a file operation hits a directory.
+var ErrIsDirectory = errors.New("dfs: path is a directory")
+
+// File is an open file handle supporting sequential and positioned reads.
+type File interface {
+	io.Reader
+	io.Seeker
+	io.Closer
+}
+
+// FileStatus describes a path, like Hadoop's FileStatus.
+type FileStatus struct {
+	Path        string
+	Size        int64
+	IsDir       bool
+	ModTime     time.Time
+	BlockSize   int64
+	Replication int
+}
+
+// BlockLocation describes where one block of a file lives.
+type BlockLocation struct {
+	Offset int64
+	Length int64
+	Hosts  []string
+}
+
+// FileSystem is the SPI both engines and all input/output formats use.
+// Paths are absolute, slash-separated, and rooted at "/".
+type FileSystem interface {
+	// Create opens a new file for writing. Parent directories are created
+	// implicitly (as in HDFS). Creating over an existing file fails.
+	Create(path string) (io.WriteCloser, error)
+	// CreateOn is Create with a locality hint: the first replica of each
+	// block is placed on host when the filesystem tracks placement.
+	CreateOn(path, host string) (io.WriteCloser, error)
+	// Open opens an existing file for reading.
+	Open(path string) (File, error)
+	// Delete removes a path; recursive must be true for non-empty dirs.
+	Delete(path string, recursive bool) error
+	// Rename moves a file or directory subtree.
+	Rename(src, dst string) error
+	// Mkdirs creates a directory and any missing ancestors.
+	Mkdirs(path string) error
+	// Stat describes a path.
+	Stat(path string) (FileStatus, error)
+	// Exists reports whether the path exists.
+	Exists(path string) bool
+	// List returns the direct children of a directory, sorted by path.
+	List(path string) ([]FileStatus, error)
+	// BlockLocations reports which hosts store each block overlapping the
+	// byte range [start, start+length).
+	BlockLocations(path string, start, length int64) ([]BlockLocation, error)
+}
+
+// CleanPath canonicalizes p to an absolute slash path with no trailing
+// slash (except the root itself) and no empty or dot segments.
+func CleanPath(p string) string {
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Parent returns the parent directory of p ("/" for top-level entries).
+func Parent(p string) string {
+	p = CleanPath(p)
+	if p == "/" {
+		return "/"
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// Base returns the final path segment.
+func Base(p string) string {
+	p = CleanPath(p)
+	if p == "/" {
+		return "/"
+	}
+	return p[strings.LastIndexByte(p, '/')+1:]
+}
+
+// Join joins path segments with slashes and cleans the result.
+func Join(parts ...string) string {
+	return CleanPath(strings.Join(parts, "/"))
+}
+
+// IsAncestor reports whether a is a (non-strict) ancestor directory of p.
+func IsAncestor(a, p string) bool {
+	a, p = CleanPath(a), CleanPath(p)
+	if a == "/" {
+		return true
+	}
+	return p == a || strings.HasPrefix(p, a+"/")
+}
+
+// Ancestors returns every ancestor of p from "/" down to p itself.
+func Ancestors(p string) []string {
+	p = CleanPath(p)
+	out := []string{"/"}
+	if p == "/" {
+		return out
+	}
+	cur := ""
+	for _, seg := range strings.Split(p[1:], "/") {
+		cur = cur + "/" + seg
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ReadAll reads a whole file.
+func ReadAll(fs FileSystem, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile creates path with the given contents.
+func WriteFile(fs FileSystem, path string, data []byte) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ListRecursive returns every file (not directory) under root.
+func ListRecursive(fs FileSystem, root string) ([]FileStatus, error) {
+	st, err := fs.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir {
+		return []FileStatus{st}, nil
+	}
+	var out []FileStatus
+	children, err := fs.List(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range children {
+		sub, err := ListRecursive(fs, c.Path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// instance registry: the Go stand-in for Hadoop's FileSystem.get(conf).
+// Engines register their filesystem under an id, put the id into the job
+// configuration (conf.KeyFSInstance), and every format resolves it from
+// there. M3R's "classpath trickery" — transparently substituting a caching
+// filesystem — is a one-line re-registration (§3.2.1, §5.3).
+
+var instances = struct {
+	sync.RWMutex
+	m    map[string]FileSystem
+	next int
+}{m: make(map[string]FileSystem)}
+
+// RegisterInstance installs fs under a fresh unique id and returns the id.
+func RegisterInstance(fs FileSystem) string {
+	instances.Lock()
+	defer instances.Unlock()
+	instances.next++
+	id := fmt.Sprintf("fs-%d", instances.next)
+	instances.m[id] = fs
+	return id
+}
+
+// SetInstance installs fs under an explicit id, replacing any previous
+// registration.
+func SetInstance(id string, fs FileSystem) {
+	instances.Lock()
+	defer instances.Unlock()
+	instances.m[id] = fs
+}
+
+// Instance returns the filesystem registered under id.
+func Instance(id string) (FileSystem, error) {
+	instances.RLock()
+	defer instances.RUnlock()
+	fs, ok := instances.m[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no filesystem registered under %q", id)
+	}
+	return fs, nil
+}
+
+// DropInstance removes a registration (engines do this on Close).
+func DropInstance(id string) {
+	instances.Lock()
+	defer instances.Unlock()
+	delete(instances.m, id)
+}

@@ -1,0 +1,556 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"m3r/internal/sim"
+)
+
+// HDFS simulates a Hadoop distributed filesystem inside one process.
+//
+// The namenode's role — path metadata, block lists, placement, replication
+// factor — is played by an in-memory inode table. The datanodes' role is
+// played by real files on local disk (one file per block), so every byte a
+// job reads or writes through HDFS incurs genuine I/O and buffering work.
+// What cannot exist in-process is modelled through sim.CostModel: the
+// network cost of writing replicas and of non-local reads.
+//
+// Block placement is round-robin over the configured hosts unless the
+// writer supplies a locality hint (CreateOn), in which case the first
+// replica lands on the writing host, as in HDFS.
+type HDFS struct {
+	mu          sync.RWMutex
+	root        string
+	hosts       []string
+	blockSize   int64
+	replication int
+	files       map[string]*inode
+	nextBlockID int64
+	nextHost    int
+
+	stats *sim.Stats
+	cost  *sim.CostModel
+}
+
+type inode struct {
+	dir    bool
+	blocks []hdfsBlock
+	size   int64
+	mtime  time.Time
+}
+
+type hdfsBlock struct {
+	id     int64
+	length int64
+	hosts  []string
+}
+
+// HDFSOptions configures a simulated HDFS.
+type HDFSOptions struct {
+	// Root is the local directory that holds block files. Required.
+	Root string
+	// Hosts are the datanode host names; defaults to ["node0"].
+	Hosts []string
+	// BlockSize defaults to 4 MiB (a scaled-down HDFS 64 MiB block).
+	BlockSize int64
+	// Replication defaults to 1; values >1 charge modelled network cost.
+	Replication int
+	// Stats and Cost may be nil (no accounting, no modelled delay).
+	Stats *sim.Stats
+	Cost  *sim.CostModel
+}
+
+// NewHDFS creates a simulated HDFS storing blocks under opts.Root.
+func NewHDFS(opts HDFSOptions) (*HDFS, error) {
+	if opts.Root == "" {
+		return nil, fmt.Errorf("dfs: HDFS requires a root directory")
+	}
+	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: creating HDFS root: %w", err)
+	}
+	hosts := opts.Hosts
+	if len(hosts) == 0 {
+		hosts = []string{"node0"}
+	}
+	bs := opts.BlockSize
+	if bs <= 0 {
+		bs = 4 << 20
+	}
+	repl := opts.Replication
+	if repl <= 0 {
+		repl = 1
+	}
+	if repl > len(hosts) {
+		repl = len(hosts)
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = sim.Zero()
+	}
+	h := &HDFS{
+		root:        opts.Root,
+		hosts:       hosts,
+		blockSize:   bs,
+		replication: repl,
+		files:       map[string]*inode{"/": {dir: true, mtime: time.Now()}},
+		stats:       opts.Stats,
+		cost:        cost,
+	}
+	return h, nil
+}
+
+// Hosts returns the datanode host names.
+func (h *HDFS) Hosts() []string { return h.hosts }
+
+// BlockSize returns the configured block size.
+func (h *HDFS) BlockSize() int64 { return h.blockSize }
+
+func (h *HDFS) blockPath(id int64) string {
+	return filepath.Join(h.root, fmt.Sprintf("blk_%08d", id))
+}
+
+// mkdirsLocked inserts directory inodes for path and its ancestors. The
+// caller holds h.mu.
+func (h *HDFS) mkdirsLocked(path string) error {
+	for _, a := range Ancestors(path) {
+		node, ok := h.files[a]
+		if !ok {
+			h.files[a] = &inode{dir: true, mtime: time.Now()}
+			continue
+		}
+		if !node.dir {
+			return fmt.Errorf("dfs: mkdirs %s: %w at %s", path, ErrExists, a)
+		}
+	}
+	return nil
+}
+
+// Mkdirs implements FileSystem.
+func (h *HDFS) Mkdirs(path string) error {
+	path = CleanPath(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mkdirsLocked(path)
+}
+
+// Create implements FileSystem.
+func (h *HDFS) Create(path string) (io.WriteCloser, error) {
+	return h.CreateOn(path, "")
+}
+
+// CreateOn implements FileSystem with a placement hint.
+func (h *HDFS) CreateOn(path, host string) (io.WriteCloser, error) {
+	path = CleanPath(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if node, ok := h.files[path]; ok {
+		if node.dir {
+			return nil, fmt.Errorf("dfs: create %s: %w", path, ErrIsDirectory)
+		}
+		return nil, fmt.Errorf("dfs: create %s: %w", path, ErrExists)
+	}
+	if err := h.mkdirsLocked(Parent(path)); err != nil {
+		return nil, err
+	}
+	// Reserve the path (zero-length file) so concurrent creates conflict
+	// immediately, like a namenode lease.
+	h.files[path] = &inode{mtime: time.Now()}
+	return &hdfsWriter{fs: h, path: path, hint: host}, nil
+}
+
+type hdfsWriter struct {
+	fs     *HDFS
+	path   string
+	hint   string
+	buf    []byte
+	blocks []hdfsBlock
+	size   int64
+	closed bool
+}
+
+// Write implements io.Writer, cutting block files at block-size boundaries.
+func (w *hdfsWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write to closed file %s", w.path)
+	}
+	w.buf = append(w.buf, p...)
+	for int64(len(w.buf)) >= w.fs.blockSize {
+		if err := w.cutBlock(w.buf[:w.fs.blockSize]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.fs.blockSize:]
+	}
+	return len(p), nil
+}
+
+func (w *hdfsWriter) cutBlock(data []byte) error {
+	w.fs.mu.Lock()
+	id := w.fs.nextBlockID
+	w.fs.nextBlockID++
+	hosts := w.fs.placeBlock(w.hint)
+	w.fs.mu.Unlock()
+
+	if err := os.WriteFile(w.fs.blockPath(id), data, 0o644); err != nil {
+		return fmt.Errorf("dfs: writing block: %w", err)
+	}
+	n := int64(len(data))
+	w.fs.stats.Add(sim.HDFSWriteBytes, n)
+	// Replicas cross the network; the pipeline also pays disk on each.
+	w.fs.cost.ChargeDisk(w.fs.stats, n*int64(len(hosts)))
+	if len(hosts) > 1 {
+		w.fs.cost.ChargeNet(w.fs.stats, n*int64(len(hosts)-1))
+	}
+	w.blocks = append(w.blocks, hdfsBlock{id: id, length: n, hosts: hosts})
+	w.size += n
+	return nil
+}
+
+// placeBlock chooses replica hosts; caller holds fs.mu.
+func (h *HDFS) placeBlock(hint string) []string {
+	primary := -1
+	if hint != "" {
+		for i, host := range h.hosts {
+			if host == hint {
+				primary = i
+				break
+			}
+		}
+	}
+	if primary < 0 {
+		primary = h.nextHost % len(h.hosts)
+		h.nextHost++
+	}
+	hosts := make([]string, 0, h.replication)
+	for i := 0; i < h.replication; i++ {
+		hosts = append(hosts, h.hosts[(primary+i)%len(h.hosts)])
+	}
+	return hosts
+}
+
+// Close flushes the final partial block and commits the file metadata.
+func (w *hdfsWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.cutBlock(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	node, ok := w.fs.files[w.path]
+	if !ok {
+		// Deleted while being written; drop the blocks.
+		for _, b := range w.blocks {
+			os.Remove(w.fs.blockPath(b.id))
+		}
+		return fmt.Errorf("dfs: %s was deleted during write", w.path)
+	}
+	node.blocks = w.blocks
+	node.size = w.size
+	node.mtime = time.Now()
+	return nil
+}
+
+// Open implements FileSystem.
+func (h *HDFS) Open(path string) (File, error) {
+	return h.OpenFrom(path, "")
+}
+
+// OpenFrom opens a file with a reader-locality hint: reads of blocks that
+// have no replica on host are charged modelled network cost.
+func (h *HDFS) OpenFrom(path, host string) (File, error) {
+	path = CleanPath(path)
+	h.mu.RLock()
+	node, ok := h.files[path]
+	if !ok {
+		h.mu.RUnlock()
+		return nil, fmt.Errorf("dfs: open %s: %w", path, ErrNotFound)
+	}
+	if node.dir {
+		h.mu.RUnlock()
+		return nil, fmt.Errorf("dfs: open %s: %w", path, ErrIsDirectory)
+	}
+	blocks := make([]hdfsBlock, len(node.blocks))
+	copy(blocks, node.blocks)
+	size := node.size
+	h.mu.RUnlock()
+	return &hdfsReader{fs: h, path: path, host: host, blocks: blocks, size: size}, nil
+}
+
+type hdfsReader struct {
+	fs     *HDFS
+	path   string
+	host   string
+	blocks []hdfsBlock
+	size   int64
+	pos    int64
+
+	curIdx  int // index of cached block, -1 when none
+	curData []byte
+	curOff  int64 // file offset of curData[0]
+}
+
+// locate returns the block index and base offset containing file offset pos.
+func (r *hdfsReader) locate(pos int64) (int, int64) {
+	off := int64(0)
+	for i, b := range r.blocks {
+		if pos < off+b.length {
+			return i, off
+		}
+		off += b.length
+	}
+	return -1, off
+}
+
+// Read implements io.Reader.
+func (r *hdfsReader) Read(p []byte) (int, error) {
+	if r.pos >= r.size {
+		return 0, io.EOF
+	}
+	idx, base := r.locate(r.pos)
+	if idx < 0 {
+		return 0, io.EOF
+	}
+	if r.curData == nil || idx != r.curIdx {
+		b := r.blocks[idx]
+		data, err := os.ReadFile(r.fs.blockPath(b.id))
+		if err != nil {
+			return 0, fmt.Errorf("dfs: reading block of %s: %w", r.path, err)
+		}
+		r.curIdx, r.curData, r.curOff = idx, data, base
+		r.fs.cost.ChargeDisk(r.fs.stats, b.length)
+		if r.host != "" && !hasHost(b.hosts, r.host) {
+			r.fs.cost.ChargeNet(r.fs.stats, b.length)
+		}
+	}
+	n := copy(p, r.curData[r.pos-r.curOff:])
+	r.pos += int64(n)
+	r.fs.stats.Add(sim.HDFSReadBytes, int64(n))
+	return n, nil
+}
+
+func hasHost(hosts []string, h string) bool {
+	for _, x := range hosts {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+// Seek implements io.Seeker.
+func (r *hdfsReader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("dfs: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("dfs: negative seek position %d", abs)
+	}
+	r.pos = abs
+	if r.curData != nil && (abs < r.curOff || abs >= r.curOff+int64(len(r.curData))) {
+		r.curData = nil
+	}
+	return abs, nil
+}
+
+// Close implements io.Closer.
+func (r *hdfsReader) Close() error {
+	r.curData = nil
+	return nil
+}
+
+// Delete implements FileSystem.
+func (h *HDFS) Delete(path string, recursive bool) error {
+	path = CleanPath(path)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	node, ok := h.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: delete %s: %w", path, ErrNotFound)
+	}
+	if node.dir {
+		children := h.childrenLocked(path)
+		if len(children) > 0 && !recursive {
+			return fmt.Errorf("dfs: delete %s: directory not empty", path)
+		}
+		for _, c := range h.subtreeLocked(path) {
+			h.removeLocked(c)
+		}
+	}
+	h.removeLocked(path)
+	return nil
+}
+
+// removeLocked deletes one inode and its block files. Caller holds h.mu.
+func (h *HDFS) removeLocked(path string) {
+	node, ok := h.files[path]
+	if !ok {
+		return
+	}
+	for _, b := range node.blocks {
+		os.Remove(h.blockPath(b.id))
+	}
+	delete(h.files, path)
+}
+
+// childrenLocked returns direct children paths. Caller holds h.mu.
+func (h *HDFS) childrenLocked(dir string) []string {
+	var out []string
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	for p := range h.files {
+		if p == dir || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if rest != "" && !strings.Contains(rest, "/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subtreeLocked returns all strict descendants of dir. Caller holds h.mu.
+func (h *HDFS) subtreeLocked(dir string) []string {
+	var out []string
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	for p := range h.files {
+		if p != dir && strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rename implements FileSystem. The destination must not exist; the
+// destination's parent is created implicitly.
+func (h *HDFS) Rename(src, dst string) error {
+	src, dst = CleanPath(src), CleanPath(dst)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	node, ok := h.files[src]
+	if !ok {
+		return fmt.Errorf("dfs: rename %s: %w", src, ErrNotFound)
+	}
+	if _, exists := h.files[dst]; exists {
+		return fmt.Errorf("dfs: rename to %s: %w", dst, ErrExists)
+	}
+	if IsAncestor(src, dst) && src != dst {
+		return fmt.Errorf("dfs: rename %s into its own subtree %s", src, dst)
+	}
+	if err := h.mkdirsLocked(Parent(dst)); err != nil {
+		return err
+	}
+	if node.dir {
+		for _, p := range h.subtreeLocked(src) {
+			np := dst + strings.TrimPrefix(p, src)
+			h.files[np] = h.files[p]
+			delete(h.files, p)
+		}
+	}
+	h.files[dst] = node
+	delete(h.files, src)
+	node.mtime = time.Now()
+	return nil
+}
+
+// Stat implements FileSystem.
+func (h *HDFS) Stat(path string) (FileStatus, error) {
+	path = CleanPath(path)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	node, ok := h.files[path]
+	if !ok {
+		return FileStatus{}, fmt.Errorf("dfs: stat %s: %w", path, ErrNotFound)
+	}
+	return FileStatus{
+		Path:        path,
+		Size:        node.size,
+		IsDir:       node.dir,
+		ModTime:     node.mtime,
+		BlockSize:   h.blockSize,
+		Replication: h.replication,
+	}, nil
+}
+
+// Exists implements FileSystem.
+func (h *HDFS) Exists(path string) bool {
+	path = CleanPath(path)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	_, ok := h.files[path]
+	return ok
+}
+
+// List implements FileSystem.
+func (h *HDFS) List(path string) ([]FileStatus, error) {
+	path = CleanPath(path)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	node, ok := h.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: list %s: %w", path, ErrNotFound)
+	}
+	if !node.dir {
+		return []FileStatus{{Path: path, Size: node.size, ModTime: node.mtime,
+			BlockSize: h.blockSize, Replication: h.replication}}, nil
+	}
+	var out []FileStatus
+	for _, c := range h.childrenLocked(path) {
+		n := h.files[c]
+		out = append(out, FileStatus{Path: c, Size: n.size, IsDir: n.dir,
+			ModTime: n.mtime, BlockSize: h.blockSize, Replication: h.replication})
+	}
+	return out, nil
+}
+
+// BlockLocations implements FileSystem.
+func (h *HDFS) BlockLocations(path string, start, length int64) ([]BlockLocation, error) {
+	path = CleanPath(path)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	node, ok := h.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: locations %s: %w", path, ErrNotFound)
+	}
+	if node.dir {
+		return nil, fmt.Errorf("dfs: locations %s: %w", path, ErrIsDirectory)
+	}
+	var out []BlockLocation
+	off := int64(0)
+	for _, b := range node.blocks {
+		if off+b.length > start && off < start+length {
+			hosts := make([]string, len(b.hosts))
+			copy(hosts, b.hosts)
+			out = append(out, BlockLocation{Offset: off, Length: b.length, Hosts: hosts})
+		}
+		off += b.length
+	}
+	return out, nil
+}

@@ -1,0 +1,10 @@
+package engine
+
+import "m3r/internal/types"
+
+func init() {
+	// Wire the standard types' raw comparators into the resolver; jobs with
+	// custom key classes fall back to deserializing comparison, as Hadoop
+	// does for key classes without a registered WritableComparator.
+	rawComparatorFor = types.RawComparatorFor
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sort"
+
+	"m3r/internal/counters"
+	"m3r/internal/mapred"
+	"m3r/internal/wio"
+)
+
+// SortPairs stably sorts pairs by key with cmp. Stability matters: Hadoop
+// preserves the map-output order of equal keys within one task, and tests
+// rely on deterministic output.
+func SortPairs(pairs []wio.Pair, cmp wio.Comparator) {
+	sort.SliceStable(pairs, func(i, j int) bool {
+		return cmp.Compare(pairs[i].Key, pairs[j].Key) < 0
+	})
+}
+
+// sliceValues iterates the values of pairs[start:end).
+type sliceValues struct {
+	pairs []wio.Pair
+	pos   int
+	end   int
+}
+
+// Next implements mapred.ValueIterator.
+func (s *sliceValues) Next() (wio.Writable, bool) {
+	if s.pos >= s.end {
+		return nil, false
+	}
+	v := s.pairs[s.pos].Value
+	s.pos++
+	return v, true
+}
+
+// DriveReduce feeds sorted pairs group-by-group (per groupCmp) into run,
+// emitting through out. combine selects the combiner counter names instead
+// of the reducer ones.
+func DriveReduce(run ReduceRun, groupCmp wio.Comparator, pairs []wio.Pair,
+	out mapred.OutputCollector, ctx *TaskContext, combine bool) error {
+	groupCounter, recordCounter := counters.ReduceInputGroups, counters.ReduceInputRecords
+	if combine {
+		groupCounter, recordCounter = "", counters.CombineInputRecords
+	}
+	i := 0
+	for i < len(pairs) {
+		j := i + 1
+		for j < len(pairs) && groupCmp.Compare(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		if groupCounter != "" {
+			ctx.IncrCounter(counters.TaskGroup, groupCounter, 1)
+		}
+		ctx.IncrCounter(counters.TaskGroup, recordCounter, int64(j-i))
+		values := &sliceValues{pairs: pairs, pos: i, end: j}
+		if err := run.Reduce(pairs[i].Key, values, out, ctx); err != nil {
+			return err
+		}
+		i = j
+	}
+	return run.Close()
+}
+
+// Combine runs the job's combiner over an unsorted buffer of map output
+// pairs and returns the combined pairs. Both engines use it: Hadoop before
+// spilling a buffer to disk, M3R before shipping a buffer into the shuffle.
+//
+// Hadoop serializes combiner output the moment it is collected, so a
+// combiner may legally reuse its output objects between groups. To keep
+// the returned pairs stable, unmarked combiners' outputs are cloned here
+// (ImmutableOutput combiners' outputs are returned as-is, §4.1).
+func Combine(rj *ResolvedJob, pairs []wio.Pair, ctx *TaskContext) ([]wio.Pair, error) {
+	run := rj.NewCombineRun()
+	if run == nil || len(pairs) == 0 {
+		return pairs, nil
+	}
+	run.Configure(rj.Job)
+	SortPairs(pairs, rj.SortCmp)
+	out := make([]wio.Pair, 0, len(pairs))
+	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		if !rj.CombineImmutable {
+			key, value = wio.MustClone(key), wio.MustClone(value)
+		}
+		out = append(out, wio.Pair{Key: key, Value: value})
+		return nil
+	})
+	if err := DriveReduce(run, rj.GroupCmp, pairs, collector, ctx, true); err != nil {
+		return nil, err
+	}
+	ctx.IncrCounter(counters.TaskGroup, counters.CombineOutputRecords, int64(len(out)))
+	return out, nil
+}

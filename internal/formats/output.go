@@ -1,0 +1,153 @@
+package formats
+
+import (
+	"fmt"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/registry"
+	"m3r/internal/wio"
+)
+
+// Committer bookkeeping names, matching Hadoop's on-disk layout.
+const (
+	// TemporaryDir is the scratch directory under the job output path.
+	TemporaryDir = "_temporary"
+	// SuccessMarker is the empty file created on successful job commit.
+	SuccessMarker = "_SUCCESS"
+	// KeyWorkOutputDir points a task at its private work directory; set by
+	// the engine per task before GetRecordWriter runs.
+	KeyWorkOutputDir = "mapred.work.output.dir"
+
+	// NullOutputFormatName registers the output-discarding format.
+	NullOutputFormatName = "org.apache.hadoop.mapred.lib.NullOutputFormat"
+)
+
+func init() {
+	registry.Register(registry.KindOutputFormat, NullOutputFormatName,
+		func() any { return &NullOutputFormat{} })
+}
+
+// TaskOutputPath resolves where the output file name of the current task
+// belongs: inside the task's work directory when a committer is active,
+// else directly inside the job output directory.
+func TaskOutputPath(job *conf.JobConf, name string) string {
+	dir := job.Get(KeyWorkOutputDir)
+	if dir == "" {
+		dir = job.OutputPath()
+	}
+	return dfs.Join(dir, name)
+}
+
+// CheckFileOutputSpecs fails when the output path already exists, Hadoop's
+// guard against clobbering previous job output.
+func CheckFileOutputSpecs(job *conf.JobConf) error {
+	out := job.OutputPath()
+	if out == "" {
+		return fmt.Errorf("formats: job %q has no output path", job.JobName())
+	}
+	fs, err := FS(job)
+	if err != nil {
+		return err
+	}
+	if fs.Exists(dfs.CleanPath(out)) {
+		return fmt.Errorf("formats: output path %s already exists: %w", out, dfs.ErrExists)
+	}
+	return nil
+}
+
+// FileOutputCommitter implements Hadoop's two-step output protocol: tasks
+// write into ${output}/_temporary/${attempt}, a successful task promotes
+// its files into ${output}, and a successful job removes the scratch space
+// and drops a _SUCCESS marker. The M3R engine uses the same committer when
+// it writes through to the filesystem, so both engines produce identical
+// directory layouts.
+type FileOutputCommitter struct {
+	fs dfs.FileSystem
+}
+
+// NewFileOutputCommitter returns a committer writing through fs.
+func NewFileOutputCommitter(fs dfs.FileSystem) *FileOutputCommitter {
+	return &FileOutputCommitter{fs: fs}
+}
+
+// SetupJob creates the scratch directory.
+func (c *FileOutputCommitter) SetupJob(job *conf.JobConf) error {
+	out := job.OutputPath()
+	if out == "" {
+		return nil
+	}
+	return c.fs.Mkdirs(dfs.Join(out, TemporaryDir))
+}
+
+// WorkPath returns the private work directory for a task attempt.
+func (c *FileOutputCommitter) WorkPath(job *conf.JobConf, attempt string) string {
+	return dfs.Join(job.OutputPath(), TemporaryDir, attempt)
+}
+
+// SetupTask binds the task attempt's work directory into its (cloned)
+// configuration so TaskOutputPath resolves under it.
+func (c *FileOutputCommitter) SetupTask(taskJob *conf.JobConf, attempt string) {
+	taskJob.Set(KeyWorkOutputDir, c.WorkPath(taskJob, attempt))
+}
+
+// CommitTask promotes the task's files from its work directory into the
+// job output directory.
+func (c *FileOutputCommitter) CommitTask(job *conf.JobConf, attempt string) error {
+	work := c.WorkPath(job, attempt)
+	if !c.fs.Exists(work) {
+		return nil // task produced no output
+	}
+	files, err := c.fs.List(work)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		dst := dfs.Join(job.OutputPath(), dfs.Base(f.Path))
+		if err := c.fs.Rename(f.Path, dst); err != nil {
+			return fmt.Errorf("formats: committing %s: %w", f.Path, err)
+		}
+	}
+	return c.fs.Delete(work, true)
+}
+
+// AbortTask discards the task's work directory.
+func (c *FileOutputCommitter) AbortTask(job *conf.JobConf, attempt string) error {
+	work := c.WorkPath(job, attempt)
+	if !c.fs.Exists(work) {
+		return nil
+	}
+	return c.fs.Delete(work, true)
+}
+
+// CommitJob removes the scratch space and writes the _SUCCESS marker.
+func (c *FileOutputCommitter) CommitJob(job *conf.JobConf) error {
+	out := job.OutputPath()
+	if out == "" {
+		return nil
+	}
+	tmp := dfs.Join(out, TemporaryDir)
+	if c.fs.Exists(tmp) {
+		if err := c.fs.Delete(tmp, true); err != nil {
+			return err
+		}
+	}
+	return dfs.WriteFile(c.fs, dfs.Join(out, SuccessMarker), nil)
+}
+
+// NullOutputFormat discards all output, for jobs whose effect is counters
+// or cache state only.
+type NullOutputFormat struct{}
+
+// CheckOutputSpecs implements OutputFormat.
+func (*NullOutputFormat) CheckOutputSpecs(*conf.JobConf) error { return nil }
+
+// GetRecordWriter implements OutputFormat.
+func (*NullOutputFormat) GetRecordWriter(*conf.JobConf, string) (RecordWriter, error) {
+	return nullWriter{}, nil
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(_, _ wio.Writable) error { return nil }
+func (nullWriter) Close() error                  { return nil }

@@ -1,0 +1,91 @@
+package formats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/registry"
+)
+
+// PartitionedSeqInputFormatName registers the placed SequenceFile format.
+const PartitionedSeqInputFormatName = "com.ibm.m3r.lib.PartitionedSequenceFileInputFormat"
+
+func init() {
+	registry.Register(registry.KindInputFormat, PartitionedSeqInputFormatName,
+		func() any { return &PartitionedSeqInputFormat{} })
+}
+
+// PlacedFileSplit is a FileSplit tagged with the reduce partition its data
+// belongs to. Under M3R it implements PlacedSplit (§4.3), so the mapper for
+// this split runs at the partition's stable place and the data stays there
+// for the whole job sequence; the Hadoop engine sees an ordinary split.
+type PlacedFileSplit struct {
+	*FileSplit
+	Part int
+}
+
+// Partition implements PlacedSplit.
+func (s *PlacedFileSplit) Partition() int { return s.Part }
+
+// GetDelegate implements DelegatingSplit so cache naming resolves to the
+// underlying file range.
+func (s *PlacedFileSplit) GetDelegate() InputSplit { return s.FileSplit }
+
+// PartitionedSeqInputFormat reads SequenceFiles whose file names follow the
+// reducer-output convention "part-NNNNN", placing each split at partition
+// NNNNN. It is how row-partitioned matrix data "should be read in by each
+// place and then left there for the entire job sequence" (§3.2.2.2).
+type PartitionedSeqInputFormat struct {
+	inner SequenceFileInputFormat
+}
+
+// GetSplits implements InputFormat.
+func (f *PartitionedSeqInputFormat) GetSplits(job *conf.JobConf, numSplits int) ([]InputSplit, error) {
+	splits, err := f.inner.GetSplits(job, numSplits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InputSplit, 0, len(splits))
+	for _, s := range splits {
+		fsplit, ok := s.(*FileSplit)
+		if !ok {
+			return nil, fmt.Errorf("formats: unexpected split type %T", s)
+		}
+		part, ok := PartitionOfPath(fsplit.Path)
+		if !ok {
+			out = append(out, fsplit)
+			continue
+		}
+		out = append(out, &PlacedFileSplit{FileSplit: fsplit, Part: part})
+	}
+	return out, nil
+}
+
+// GetRecordReader implements InputFormat.
+func (f *PartitionedSeqInputFormat) GetRecordReader(split InputSplit, job *conf.JobConf) (RecordReader, error) {
+	if p, ok := split.(*PlacedFileSplit); ok {
+		split = p.FileSplit
+	}
+	return f.inner.GetRecordReader(split, job)
+}
+
+// PartitionOfPath parses the partition number from a "part-NNNNN" file
+// name (any "-m-"/"-r-" infix is tolerated).
+func PartitionOfPath(path string) (int, bool) {
+	base := dfs.Base(path)
+	if !strings.HasPrefix(base, "part-") {
+		return 0, false
+	}
+	numPart := strings.TrimPrefix(base, "part-")
+	if i := strings.LastIndexByte(numPart, '-'); i >= 0 {
+		numPart = numPart[i+1:]
+	}
+	n, err := strconv.Atoi(numPart)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,391 @@
+// Package hadoop is the baseline: a faithful scaled-down reimplementation
+// of the Hadoop MapReduce engine's execution flow (paper §3.1). It is not a
+// stopwatch model — tasks really serialize map output into sort buffers,
+// really sort and spill to local disk files, really merge spill segments,
+// really fetch them across the (modelled) network and really run an
+// external merge before reducing. The only modelled costs are the ones a
+// single process cannot reproduce: per-task JVM startup, heartbeat
+// scheduling latency, and network bandwidth (see internal/sim).
+//
+// Per the paper's description of the HMR engine:
+//   - every job starts fresh tasks (no state is retained between jobs),
+//   - map output is sorted, spilled and served from local disk,
+//   - reducers fetch segments, merge out-of-core, and write replicated
+//     output back to the filesystem through an output committer,
+//   - no caching exists between the jobs of a sequence.
+package hadoop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/engine"
+	"m3r/internal/formats"
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+)
+
+// Options configures the engine.
+type Options struct {
+	// FS is the cluster filesystem (normally the simulated HDFS). Required.
+	FS dfs.FileSystem
+	// Nodes are the compute hosts; they should match the HDFS datanode
+	// names for locality to work. Defaults to ["node0"].
+	Nodes []string
+	// MapSlotsPerNode / ReduceSlotsPerNode bound task concurrency per node
+	// (default 2 / 1, Hadoop's classic defaults scaled down).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// LocalDir hosts spill and shuffle files. Required.
+	LocalDir string
+	// Stats and Cost may be nil.
+	Stats *sim.Stats
+	Cost  *sim.CostModel
+}
+
+// Engine is the Hadoop-style MapReduce engine.
+type Engine struct {
+	fs         dfs.FileSystem
+	fsID       string
+	nodes      []string
+	mapSlots   int
+	reduceSlot int
+	localRoot  string
+	stats      *sim.Stats
+	cost       *sim.CostModel
+
+	mu     sync.Mutex
+	jobSeq int
+	closed bool
+}
+
+// New creates a Hadoop engine.
+func New(opts Options) (*Engine, error) {
+	if opts.FS == nil {
+		return nil, fmt.Errorf("hadoop: Options.FS is required")
+	}
+	if opts.LocalDir == "" {
+		return nil, fmt.Errorf("hadoop: Options.LocalDir is required")
+	}
+	if err := os.MkdirAll(opts.LocalDir, 0o755); err != nil {
+		return nil, err
+	}
+	nodes := opts.Nodes
+	if len(nodes) == 0 {
+		nodes = []string{"node0"}
+	}
+	ms := opts.MapSlotsPerNode
+	if ms <= 0 {
+		ms = 2
+	}
+	rs := opts.ReduceSlotsPerNode
+	if rs <= 0 {
+		rs = 1
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = sim.Zero()
+	}
+	e := &Engine{
+		fs:         opts.FS,
+		fsID:       dfs.RegisterInstance(opts.FS),
+		nodes:      nodes,
+		mapSlots:   ms,
+		reduceSlot: rs,
+		localRoot:  opts.LocalDir,
+		stats:      opts.Stats,
+		cost:       cost,
+	}
+	return e, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "hadoop" }
+
+// FileSystem implements engine.Engine, returning the dfs instance id.
+func (e *Engine) FileSystem() string { return e.fsID }
+
+// Stats returns the engine's statistics sink.
+func (e *Engine) Stats() *sim.Stats { return e.stats }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		dfs.DropInstance(e.fsID)
+	}
+	return nil
+}
+
+// Submit implements engine.Engine: it runs one job to completion, fresh
+// tasks and all, exactly once per call.
+func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
+	start := time.Now()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("hadoop: engine is closed")
+	}
+	e.jobSeq++
+	jobID := fmt.Sprintf("job_hadoop_%04d", e.jobSeq)
+	e.mu.Unlock()
+
+	// The client's conf is copied at submission, as JobClient.submitJob
+	// writes job.xml (§3.1).
+	job := userJob.CloneJob()
+	job.Set(conf.KeyFSInstance, e.fsID)
+
+	rj, err := engine.Resolve(job)
+	if err != nil {
+		return nil, err
+	}
+	if !rj.MapOnly && (job.MapOutputKeyClass() == "" || job.MapOutputValueClass() == "") {
+		return nil, fmt.Errorf("hadoop: job %q needs map output key/value classes for the shuffle", job.JobName())
+	}
+	outputFormat, err := rj.NewOutputFormat()
+	if err != nil {
+		return nil, err
+	}
+	if err := outputFormat.CheckOutputSpecs(job); err != nil {
+		return nil, err
+	}
+
+	splits, err := rj.InputFormat.GetSplits(job, job.GetInt(conf.KeyNumMapTasks, len(e.nodes)*e.mapSlots))
+	if err != nil {
+		return nil, err
+	}
+
+	committer := formats.NewFileOutputCommitter(e.fs)
+	if job.OutputPath() != "" {
+		if err := committer.SetupJob(job); err != nil {
+			return nil, err
+		}
+	}
+
+	jobDir := filepath.Join(e.localRoot, jobID)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(jobDir)
+
+	jc := counters.New()
+	run := &jobRun{
+		engine:    e,
+		jobID:     jobID,
+		job:       job,
+		rj:        rj,
+		committer: committer,
+		jobDir:    jobDir,
+		counters:  jc,
+	}
+
+	if err := run.runMapPhase(splits); err != nil {
+		return nil, fmt.Errorf("hadoop: %s map phase: %w", jobID, err)
+	}
+	if !rj.MapOnly {
+		if err := run.runReducePhase(); err != nil {
+			return nil, fmt.Errorf("hadoop: %s reduce phase: %w", jobID, err)
+		}
+	}
+	if job.OutputPath() != "" {
+		if err := committer.CommitJob(job); err != nil {
+			return nil, err
+		}
+	}
+	engine.NotifyJobEnd(job, jobID)
+	return &engine.Report{
+		JobID:    jobID,
+		JobName:  job.JobName(),
+		Engine:   e.Name(),
+		Queue:    job.GetDefault(conf.KeyJobQueueName, "default"),
+		Counters: jc,
+		Wall:     time.Since(start),
+	}, nil
+}
+
+// jobRun carries the state of one executing job.
+type jobRun struct {
+	engine    *Engine
+	jobID     string
+	job       *conf.JobConf
+	rj        *engine.ResolvedJob
+	committer *formats.FileOutputCommitter
+	jobDir    string
+	counters  *counters.Counters
+
+	mu         sync.Mutex
+	mapOutputs []*mapOutput // indexed by map task
+}
+
+// mapOutput records where a completed map task left its sorted output.
+type mapOutput struct {
+	node string
+	file string
+	// segments[p] is the byte range of partition p inside file.
+	segments []segment
+	records  int64
+}
+
+type segment struct {
+	off int64
+	len int64
+}
+
+// pendingTask is a schedulable map task.
+type pendingTask struct {
+	index int
+	split formats.InputSplit
+}
+
+// taskQueue hands out tasks with locality preference, emulating the
+// jobtracker's response to tasktracker heartbeats.
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []*pendingTask
+}
+
+// next pops a task, preferring one whose split is local to node; it
+// reports whether the chosen task was node-local.
+func (q *taskQueue) next(node string) (*pendingTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return nil, false
+	}
+	for i, t := range q.tasks {
+		for _, h := range t.split.Locations() {
+			if h == node {
+				q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+				return t, true
+			}
+		}
+	}
+	t := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	return t, false
+}
+
+// runMapPhase schedules map tasks onto node slots via heartbeat polling.
+func (r *jobRun) runMapPhase(splits []formats.InputSplit) error {
+	q := &taskQueue{}
+	for i, s := range splits {
+		q.tasks = append(q.tasks, &pendingTask{index: i, split: s})
+	}
+	r.mapOutputs = make([]*mapOutput, len(splits))
+
+	maxAttempts := r.job.GetInt(conf.KeyMaxMapAttempts, 2)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(r.engine.nodes)*r.engine.mapSlots)
+	for _, node := range r.engine.nodes {
+		for slot := 0; slot < r.engine.mapSlots; slot++ {
+			wg.Add(1)
+			go func(node string) {
+				defer wg.Done()
+				for {
+					// Each poll round models one tasktracker heartbeat.
+					r.engine.cost.ChargeHeartbeat(r.engine.stats)
+					t, local := q.next(node)
+					if t == nil {
+						return
+					}
+					if local {
+						r.counters.Incr(counters.JobGroup, counters.DataLocalMaps, 1)
+					}
+					var err error
+					for attempt := 0; attempt < maxAttempts; attempt++ {
+						err = r.runMapTask(t, node, attempt)
+						if err == nil {
+							break
+						}
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("map task %d on %s: %w", t.index, node, err)
+						return
+					}
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	return firstError(errCh)
+}
+
+// runReducePhase assigns partition p to node p%N and runs reducers under
+// the per-node reduce slot limit.
+func (r *jobRun) runReducePhase() error {
+	type reduceTask struct {
+		partition int
+		node      string
+	}
+	queues := make(map[string][]reduceTask)
+	for p := 0; p < r.rj.NumReducers; p++ {
+		node := r.engine.nodes[p%len(r.engine.nodes)]
+		queues[node] = append(queues[node], reduceTask{partition: p, node: node})
+	}
+	maxAttempts := r.job.GetInt(conf.KeyMaxMapAttempts, 2)
+	var wg sync.WaitGroup
+	errCh := make(chan error, r.rj.NumReducers)
+	for node, tasks := range queues {
+		slots := make(chan struct{}, r.engine.reduceSlot)
+		for _, t := range tasks {
+			wg.Add(1)
+			go func(node string, t reduceTask) {
+				defer wg.Done()
+				slots <- struct{}{}
+				defer func() { <-slots }()
+				r.engine.cost.ChargeHeartbeat(r.engine.stats)
+				var err error
+				for attempt := 0; attempt < maxAttempts; attempt++ {
+					err = r.runReduceTask(t.partition, node, attempt)
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("reduce task %d on %s: %w", t.partition, node, err)
+				}
+			}(node, t)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	return firstError(errCh)
+}
+
+func firstError(ch chan error) error {
+	for err := range ch {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeTaskCounters folds a finished task's counters into the job's.
+func (r *jobRun) mergeTaskCounters(ctx *engine.TaskContext) {
+	r.counters.MergeFrom(ctx.Counters)
+}
+
+// serializePair writes key and value through the wio layer, returning
+// separate byte slices — the immediate serialization Hadoop performs when
+// map output enters the sort buffer.
+func serializePair(key, value wio.Writable) ([]byte, []byte, error) {
+	kb, err := wio.Marshal(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	vb, err := wio.Marshal(value)
+	if err != nil {
+		return nil, nil, err
+	}
+	return kb, vb, nil
+}

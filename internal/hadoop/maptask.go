@@ -1,0 +1,354 @@
+package hadoop
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"m3r/internal/counters"
+	"m3r/internal/engine"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+)
+
+// runMapTask executes one map task attempt on node: new "JVM", read the
+// split, sort/spill the output, merge spills into the final map output
+// file served to reducers (§3.1).
+func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error) {
+	e := r.engine
+	e.cost.ChargeJVMStart(e.stats)
+	e.stats.Add(sim.TasksLaunched, 1)
+	r.counters.Incr(counters.JobGroup, counters.TotalLaunchedMaps, 1)
+
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("hadoop: map task panicked: %v", p)
+		}
+	}()
+
+	taskID := fmt.Sprintf("attempt_%s_m_%06d_%d", r.jobID, t.index, attempt)
+	taskJob := r.job.CloneJob()
+	ctx := engine.NewTaskContext(taskJob, taskID, t.split)
+	runner := r.rj.NewMapRun()
+	runner.Configure(taskJob)
+
+	reader, err := r.rj.InputFormat.GetRecordReader(t.split, taskJob)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+
+	if r.rj.MapOnly {
+		return r.runMapOnlyTask(t, taskID, ctx, runner, reader)
+	}
+
+	// The sort buffer bound follows Hadoop's io.sort.mb; io.sort.bytes
+	// overrides it at byte granularity (tests use it to force spills).
+	limit := int64(taskJob.GetInt("io.sort.mb", 4)) << 20
+	if v := taskJob.GetInt64("io.sort.bytes", 0); v > 0 {
+		limit = v
+	}
+	buf := &sortBuffer{
+		run:     r,
+		taskDir: filepath.Join(r.jobDir, fmt.Sprintf("map_%06d", t.index)),
+		parts:   make([][]rec, r.rj.NumReducers),
+		limit:   limit,
+		ctx:     ctx,
+	}
+	if err := os.MkdirAll(buf.taskDir, 0o755); err != nil {
+		return err
+	}
+	rawCmp, err := r.rawKeyComparator()
+	if err != nil {
+		return err
+	}
+	buf.cmp = rawCmp
+	partitioner := r.rj.NewPartitioner()
+
+	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		p := partitioner.GetPartition(key, value, r.rj.NumReducers)
+		if p < 0 || p >= r.rj.NumReducers {
+			return fmt.Errorf("hadoop: partitioner returned %d of %d", p, r.rj.NumReducers)
+		}
+		// Hadoop serializes map output immediately into the sort buffer.
+		kb, vb, err := serializePair(key, value)
+		if err != nil {
+			return err
+		}
+		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputBytes, int64(len(kb)+len(vb)))
+		return buf.add(p, rec{k: kb, v: vb})
+	})
+
+	if err := runner.Run(reader, collector, ctx); err != nil {
+		return err
+	}
+	out, err := buf.finish(t.index, node)
+	if err != nil {
+		return err
+	}
+	out.node = node
+	r.mu.Lock()
+	r.mapOutputs[t.index] = out
+	r.mu.Unlock()
+	r.mergeTaskCounters(ctx)
+	return nil
+}
+
+// runMapOnlyTask sends map output straight to the output format (§5.3:
+// "map-only jobs ... output from the mapper is sent directly to output").
+func (r *jobRun) runMapOnlyTask(t *pendingTask, taskID string,
+	ctx *engine.TaskContext, runner engine.MapRun, reader formats.RecordReader) error {
+	job := ctx.Job
+	outputFormat, err := r.rj.NewOutputFormat()
+	if err != nil {
+		return err
+	}
+	writeOutput := job.OutputPath() != ""
+	var writer formats.RecordWriter = formats.CollectorFunc(func(_, _ wio.Writable) error { return nil })
+	if writeOutput {
+		r.committer.SetupTask(job, taskID)
+		w, err := outputFormat.GetRecordWriter(job, fmt.Sprintf("part-%05d", t.index))
+		if err != nil {
+			return err
+		}
+		writer = w
+	}
+	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+		return writer.Write(key, value)
+	})
+	if err := runner.Run(reader, collector, ctx); err != nil {
+		writer.Close()
+		if writeOutput {
+			r.committer.AbortTask(job, taskID)
+		}
+		return err
+	}
+	if err := writer.Close(); err != nil {
+		return err
+	}
+	if writeOutput {
+		if err := r.committer.CommitTask(job, taskID); err != nil {
+			return err
+		}
+	}
+	r.mergeTaskCounters(ctx)
+	return nil
+}
+
+// sortBuffer is the map side's in-memory output buffer with spill-to-disk,
+// Hadoop's io.sort.mb machinery.
+type sortBuffer struct {
+	run     *jobRun
+	taskDir string
+	parts   [][]rec
+	bytes   int64
+	limit   int64
+	cmp     wio.RawComparator
+	ctx     *engine.TaskContext
+
+	spills []spillFile
+}
+
+// spillFile records one on-disk spill and its per-partition segments.
+type spillFile struct {
+	path     string
+	segments []segment
+}
+
+// add buffers one record, spilling when the buffer exceeds its limit.
+func (b *sortBuffer) add(p int, r rec) error {
+	b.parts[p] = append(b.parts[p], r)
+	b.bytes += r.size()
+	if b.bytes >= b.limit {
+		return b.spill()
+	}
+	return nil
+}
+
+// spill sorts each partition (running the combiner when configured) and
+// writes one spill file.
+func (b *sortBuffer) spill() error {
+	path := filepath.Join(b.taskDir, fmt.Sprintf("spill_%d", len(b.spills)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var segments []segment
+	var off int64
+	var spilled int64
+	for p := range b.parts {
+		recs := b.parts[p]
+		recs, err := b.prepare(recs)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		var segLen int64
+		for _, r := range recs {
+			n, err := writeRec(w, r)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			segLen += n
+		}
+		spilled += int64(len(recs))
+		segments = append(segments, segment{off: off, len: segLen})
+		off += segLen
+		b.parts[p] = nil
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b.bytes = 0
+	b.spills = append(b.spills, spillFile{path: path, segments: segments})
+	b.ctx.IncrCounter(counters.TaskGroup, counters.SpilledRecords, spilled)
+	stats := b.run.engine.stats
+	stats.Add(sim.SpillBytes, off)
+	stats.Add(sim.SpillFiles, 1)
+	b.run.engine.cost.ChargeDisk(stats, off)
+	return nil
+}
+
+// prepare sorts one partition's records, applying the combiner when the
+// job has one.
+func (b *sortBuffer) prepare(recs []rec) ([]rec, error) {
+	if len(recs) == 0 {
+		return recs, nil
+	}
+	if !b.run.rj.HasCombiner {
+		sortRecs(recs, b.cmp)
+		return recs, nil
+	}
+	// Combine: deserialize, sort+combine through the shared driver,
+	// reserialize. The combiner contract requires key-preserving output,
+	// so combined output remains sorted.
+	pairs, err := b.run.deserializeRecs(recs)
+	if err != nil {
+		return nil, err
+	}
+	combined, err := engine.Combine(b.run.rj, pairs, b.ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rec, 0, len(combined))
+	for _, p := range combined {
+		kb, vb, err := serializePair(p.Key, p.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec{k: kb, v: vb})
+	}
+	return out, nil
+}
+
+// deserializeRecs rebuilds writables from serialized records using the
+// job's map output classes.
+func (r *jobRun) deserializeRecs(recs []rec) ([]wio.Pair, error) {
+	keyClass := r.job.MapOutputKeyClass()
+	valClass := r.job.MapOutputValueClass()
+	out := make([]wio.Pair, 0, len(recs))
+	for _, rc := range recs {
+		k, err := wio.New(keyClass)
+		if err != nil {
+			return nil, err
+		}
+		if err := wio.Unmarshal(rc.k, k); err != nil {
+			return nil, err
+		}
+		v, err := wio.New(valClass)
+		if err != nil {
+			return nil, err
+		}
+		if err := wio.Unmarshal(rc.v, v); err != nil {
+			return nil, err
+		}
+		out = append(out, wio.Pair{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+// finish flushes the remaining buffer and merges all spills into the final
+// map output file.
+func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
+	if err := b.spill(); err != nil {
+		return nil, err
+	}
+	if len(b.spills) == 1 {
+		// Single spill: it already is the map output file.
+		return &mapOutput{file: b.spills[0].path, segments: b.spills[0].segments}, nil
+	}
+	// Multi-spill: k-way merge each partition into file.out, re-reading
+	// and re-writing every byte (Hadoop's on-disk merge).
+	outPath := filepath.Join(b.taskDir, "file.out")
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	numParts := len(b.parts)
+	segments := make([]segment, numParts)
+	var off int64
+	for p := 0; p < numParts; p++ {
+		var streams []*recStream
+		for _, sp := range b.spills {
+			s, err := openSegment(sp.path, sp.segments[p])
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			streams = append(streams, s)
+		}
+		m, err := newMerger(streams, b.cmp)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		var segLen int64
+		for {
+			r, ok, err := m.next()
+			if err != nil {
+				m.close()
+				f.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			n, err := writeRec(w, r)
+			if err != nil {
+				m.close()
+				f.Close()
+				return nil, err
+			}
+			segLen += n
+		}
+		m.close()
+		segments[p] = segment{off: off, len: segLen}
+		off += segLen
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	stats := b.run.engine.stats
+	stats.Add(sim.SpillBytes, off)
+	b.run.engine.cost.ChargeDisk(stats, 2*off) // read spills + write merged
+	for _, sp := range b.spills {
+		os.Remove(sp.path)
+	}
+	return &mapOutput{file: outPath, segments: segments}, nil
+}

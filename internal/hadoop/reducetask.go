@@ -1,0 +1,298 @@
+package hadoop
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/engine"
+	"m3r/internal/mapred"
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+)
+
+// runReduceTask executes one reduce task attempt on node: fetch every map
+// task's segment for this partition (network when the map ran elsewhere),
+// externally merge the sorted segments, group, reduce, and write committed
+// output (§3.1).
+func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err error) {
+	e := r.engine
+	e.cost.ChargeJVMStart(e.stats)
+	e.stats.Add(sim.TasksLaunched, 1)
+	r.counters.Incr(counters.JobGroup, counters.TotalLaunchedReduces, 1)
+
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("hadoop: reduce task panicked: %v", p)
+		}
+	}()
+
+	taskID := fmt.Sprintf("attempt_%s_r_%06d_%d", r.jobID, partition, attempt)
+	taskJob := r.job.CloneJob()
+	ctx := engine.NewTaskContext(taskJob, taskID, nil)
+
+	reduceDir := filepath.Join(r.jobDir, fmt.Sprintf("reduce_%06d_%d", partition, attempt))
+	if err := os.MkdirAll(reduceDir, 0o755); err != nil {
+		return err
+	}
+	defer os.RemoveAll(reduceDir)
+
+	// Copy phase: pull this partition's segment from every map output.
+	segPaths, err := r.fetchSegments(partition, node, reduceDir, ctx)
+	if err != nil {
+		return err
+	}
+
+	// Sort phase: external k-way merge of the fetched (sorted) segments.
+	rawCmp, err := r.rawKeyComparator()
+	if err != nil {
+		return err
+	}
+	var streams []*recStream
+	for _, p := range segPaths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		s, err := openSegment(p, segment{off: 0, len: st.Size()})
+		if err != nil {
+			return err
+		}
+		streams = append(streams, s)
+	}
+	m, err := newMerger(streams, rawCmp)
+	if err != nil {
+		return err
+	}
+	defer m.close()
+
+	// Reduce phase.
+	reducer := r.rj.NewReduceRun()
+	reducer.Configure(taskJob)
+	outputFormat, err := r.rj.NewOutputFormat()
+	if err != nil {
+		return err
+	}
+	writeOutput := taskJob.OutputPath() != ""
+	var writer interface {
+		Write(k, v wio.Writable) error
+		Close() error
+	} = noopWriter{}
+	if writeOutput {
+		r.committer.SetupTask(taskJob, taskID)
+		w, err := outputFormat.GetRecordWriter(taskJob, fmt.Sprintf("part-%05d", partition))
+		if err != nil {
+			return err
+		}
+		writer = w
+	}
+	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		ctx.IncrCounter(counters.TaskGroup, counters.ReduceOutputRecords, 1)
+		return writer.Write(key, value)
+	})
+
+	if err := r.driveGroupedReduce(m, reducer, collector, ctx); err != nil {
+		writer.Close()
+		if writeOutput {
+			r.committer.AbortTask(taskJob, taskID)
+		}
+		return err
+	}
+	if err := writer.Close(); err != nil {
+		return err
+	}
+	if writeOutput {
+		if err := r.committer.CommitTask(taskJob, taskID); err != nil {
+			return err
+		}
+	}
+	r.mergeTaskCounters(ctx)
+	return nil
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(_, _ wio.Writable) error { return nil }
+func (noopWriter) Close() error                  { return nil }
+
+// fetchSegments copies this partition's byte range out of every map output
+// file into the reducer's local directory, charging network cost for
+// cross-node fetches — the copy phase of the Hadoop shuffle.
+func (r *jobRun) fetchSegments(partition int, node, reduceDir string, ctx *engine.TaskContext) ([]string, error) {
+	e := r.engine
+	var out []string
+	for i, mo := range r.mapOutputs {
+		if mo == nil {
+			return nil, fmt.Errorf("hadoop: map output %d missing", i)
+		}
+		seg := mo.segments[partition]
+		if seg.len == 0 {
+			continue
+		}
+		src, err := os.Open(mo.file)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := src.Seek(seg.off, io.SeekStart); err != nil {
+			src.Close()
+			return nil, err
+		}
+		dstPath := filepath.Join(reduceDir, fmt.Sprintf("seg_%06d", i))
+		dst, err := os.Create(dstPath)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		n, err := io.Copy(dst, io.LimitReader(src, seg.len))
+		src.Close()
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		ctx.IncrCounter(counters.TaskGroup, counters.ReduceShuffleBytes, n)
+		e.stats.Add(sim.ShuffleFetchBytes, n)
+		e.cost.ChargeDisk(e.stats, 2*n) // read map side + write reduce side
+		if mo.node != node {
+			// Remote fetch crosses the cluster network.
+			e.cost.ChargeNet(e.stats, n)
+		}
+		out = append(out, dstPath)
+	}
+	return out, nil
+}
+
+// groupingRawComparator returns a raw comparator for group-boundary
+// detection when one is sound: the grouping comparator itself when it
+// compares raw bytes, else the key type's raw comparator when no explicit
+// grouping comparator overrides the sort order. Returns nil when only the
+// deserializing path is correct.
+func (r *jobRun) groupingRawComparator() wio.RawComparator {
+	if raw, ok := r.rj.GroupCmp.(wio.RawComparator); ok {
+		return raw
+	}
+	if r.job.Get(conf.KeyGroupingComparatorClass) == "" {
+		return r.rj.RawSortCmp
+	}
+	return nil
+}
+
+// driveGroupedReduce streams the merged record sequence into the reducer
+// group by group, deserializing records into fresh writables. Group
+// boundaries are detected on the serialized keys when a raw comparator is
+// available (Hadoop's fast path), else by deserializing.
+func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
+	out mapred.OutputCollector, ctx *engine.TaskContext) error {
+	keyClass := r.job.MapOutputKeyClass()
+	valClass := r.job.MapOutputValueClass()
+	rawGroup := r.groupingRawComparator()
+	newKey := func(b []byte) (wio.Writable, error) {
+		k, err := wio.New(keyClass)
+		if err != nil {
+			return nil, err
+		}
+		return k, wio.Unmarshal(b, k)
+	}
+	newVal := func(b []byte) (wio.Writable, error) {
+		v, err := wio.New(valClass)
+		if err != nil {
+			return nil, err
+		}
+		return v, wio.Unmarshal(b, v)
+	}
+
+	cur, ok, err := m.next()
+	if err != nil {
+		return err
+	}
+	for ok {
+		groupKey, err := newKey(cur.k)
+		if err != nil {
+			return err
+		}
+		groupKeyBytes := append([]byte(nil), cur.k...)
+		ctx.IncrCounter(counters.TaskGroup, counters.ReduceInputGroups, 1)
+		it := &mergeValues{
+			run: r, m: m, cur: &cur, ok: &ok,
+			groupKey: groupKey, groupKeyBytes: groupKeyBytes,
+			rawGroup: rawGroup, newVal: newVal, ctx: ctx,
+		}
+		if err := reducer.Reduce(groupKey, it, out, ctx); err != nil {
+			return err
+		}
+		// Drain any values the reducer did not consume so the next group
+		// starts at a group boundary.
+		for {
+			if _, more := it.Next(); !more {
+				break
+			}
+		}
+		if it.err != nil {
+			return it.err
+		}
+	}
+	return reducer.Close()
+}
+
+// mergeValues iterates the values of the current group directly off the
+// merger, advancing it until the grouping comparator reports a new key.
+type mergeValues struct {
+	run           *jobRun
+	m             *merger
+	cur           *rec
+	ok            *bool
+	groupKey      wio.Writable
+	groupKeyBytes []byte
+	rawGroup      wio.RawComparator
+	newVal        func([]byte) (wio.Writable, error)
+	ctx           *engine.TaskContext
+	err           error
+	done          bool
+}
+
+// Next implements mapred.ValueIterator.
+func (it *mergeValues) Next() (wio.Writable, bool) {
+	if it.done || it.err != nil || !*it.ok {
+		return nil, false
+	}
+	// Does the current record still belong to this group? Compare the
+	// serialized keys when possible; deserialize otherwise.
+	if it.rawGroup != nil {
+		if it.rawGroup.CompareRaw(it.groupKeyBytes, it.cur.k) != 0 {
+			it.done = true
+			return nil, false
+		}
+	} else {
+		curKey, err := wio.New(it.run.job.MapOutputKeyClass())
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		if err := wio.Unmarshal(it.cur.k, curKey); err != nil {
+			it.err = err
+			return nil, false
+		}
+		if it.run.rj.GroupCmp.Compare(it.groupKey, curKey) != 0 {
+			it.done = true
+			return nil, false
+		}
+	}
+	v, err := it.newVal(it.cur.v)
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	it.ctx.IncrCounter(counters.TaskGroup, counters.ReduceInputRecords, 1)
+	next, ok, err := it.m.next()
+	if err != nil {
+		it.err = err
+		return nil, false
+	}
+	*it.cur = next
+	*it.ok = ok
+	return v, true
+}

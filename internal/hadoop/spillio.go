@@ -1,0 +1,215 @@
+package hadoop
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"m3r/internal/wio"
+)
+
+// The spill record format: records are (uvarint keyLen, key bytes,
+// uvarint valLen, value bytes), concatenated per partition. A spill file is
+// the partitions in order; the index (kept in memory, like Hadoop's
+// file.out.index) records each partition's byte range.
+
+// rec is one serialized map-output record.
+type rec struct {
+	k, v []byte
+}
+
+func (r rec) size() int64 { return int64(len(r.k) + len(r.v) + 2*binary.MaxVarintLen32) }
+
+// writeRec appends one record to w, returning the bytes written.
+func writeRec(w *bufio.Writer, r rec) (int64, error) {
+	var n int64
+	var scratch [binary.MaxVarintLen64]byte
+	m := binary.PutUvarint(scratch[:], uint64(len(r.k)))
+	if _, err := w.Write(scratch[:m]); err != nil {
+		return 0, err
+	}
+	n += int64(m)
+	if _, err := w.Write(r.k); err != nil {
+		return 0, err
+	}
+	n += int64(len(r.k))
+	m = binary.PutUvarint(scratch[:], uint64(len(r.v)))
+	if _, err := w.Write(scratch[:m]); err != nil {
+		return 0, err
+	}
+	n += int64(m)
+	if _, err := w.Write(r.v); err != nil {
+		return 0, err
+	}
+	n += int64(len(r.v))
+	return n, nil
+}
+
+// recStream reads records back from one byte range of a file.
+type recStream struct {
+	f   *os.File
+	br  *bufio.Reader
+	rem int64
+}
+
+// openSegment opens the byte range seg of the file at path.
+func openSegment(path string, seg segment) (*recStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(seg.off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &recStream{f: f, br: bufio.NewReader(io.LimitReader(f, seg.len)), rem: seg.len}, nil
+}
+
+// next returns the next record, or ok=false at the end of the segment.
+func (s *recStream) next() (rec, bool, error) {
+	if s.rem <= 0 {
+		return rec{}, false, nil
+	}
+	kl, err := binary.ReadUvarint(s.br)
+	if err == io.EOF {
+		return rec{}, false, nil
+	}
+	if err != nil {
+		return rec{}, false, err
+	}
+	k := make([]byte, kl)
+	if _, err := io.ReadFull(s.br, k); err != nil {
+		return rec{}, false, err
+	}
+	vl, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return rec{}, false, err
+	}
+	v := make([]byte, vl)
+	if _, err := io.ReadFull(s.br, v); err != nil {
+		return rec{}, false, err
+	}
+	consumed := int64(uvarintLen(kl)) + int64(kl) + int64(uvarintLen(vl)) + int64(vl)
+	s.rem -= consumed
+	return rec{k: k, v: v}, true, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func (s *recStream) close() error { return s.f.Close() }
+
+// sortRecs orders serialized records by key with the raw comparator,
+// stably (Hadoop preserves input order among equal keys within a task).
+func sortRecs(recs []rec, cmp wio.RawComparator) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return cmp.CompareRaw(recs[i].k, recs[j].k) < 0
+	})
+}
+
+// mergeItem is one stream's head record inside the merge heap.
+type mergeItem struct {
+	r   rec
+	src int
+}
+
+// mergeHeap is the k-way merge over sorted record streams, Hadoop's
+// out-of-core merge. Ties break by stream index for determinism.
+type mergeHeap struct {
+	items []mergeItem
+	cmp   wio.RawComparator
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.cmp.CompareRaw(h.items[i].r.k, h.items[j].r.k)
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].src < h.items[j].src
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// merger streams the union of several sorted segments in sorted order.
+type merger struct {
+	streams []*recStream
+	h       *mergeHeap
+}
+
+// newMerger opens a merge over the given streams.
+func newMerger(streams []*recStream, cmp wio.RawComparator) (*merger, error) {
+	m := &merger{streams: streams, h: &mergeHeap{cmp: cmp}}
+	for i, s := range streams {
+		r, ok, err := s.next()
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		if ok {
+			m.h.items = append(m.h.items, mergeItem{r: r, src: i})
+		}
+	}
+	heap.Init(m.h)
+	return m, nil
+}
+
+// next returns the globally next record in sort order.
+func (m *merger) next() (rec, bool, error) {
+	if m.h.Len() == 0 {
+		return rec{}, false, nil
+	}
+	it := heap.Pop(m.h).(mergeItem)
+	r, ok, err := m.streams[it.src].next()
+	if err != nil {
+		return rec{}, false, err
+	}
+	if ok {
+		heap.Push(m.h, mergeItem{r: r, src: it.src})
+	}
+	return it.r, true, nil
+}
+
+func (m *merger) close() {
+	for _, s := range m.streams {
+		s.close()
+	}
+}
+
+// rawKeyComparator returns the comparator used for all on-disk sorting: the
+// key type's registered raw comparator when available, else a deserializing
+// wrapper around the job's sort comparator (Hadoop's WritableComparator
+// fallback).
+func (r *jobRun) rawKeyComparator() (wio.RawComparator, error) {
+	if r.rj.RawSortCmp != nil {
+		return r.rj.RawSortCmp, nil
+	}
+	keyClass := r.job.MapOutputKeyClass()
+	if !wio.Registered(keyClass) {
+		return nil, fmt.Errorf("hadoop: unregistered map output key class %q", keyClass)
+	}
+	return wio.NewDeserializingComparator(r.rj.SortCmp, func() wio.Writable {
+		k, err := wio.New(keyClass)
+		if err != nil {
+			panic(err)
+		}
+		return k
+	}), nil
+}

@@ -1,0 +1,46 @@
+// Package hmrext declares the backwards-compatible HMR API extensions of
+// paper §4. Stock Hadoop (our internal/hadoop engine) ignores all of them;
+// M3R detects them with type assertions and unlocks the corresponding
+// optimization. Keeping them in one tiny dependency-free-ish package lets
+// job code opt in without importing either engine.
+package hmrext
+
+import (
+	"m3r/internal/dfs"
+	"m3r/internal/wio"
+)
+
+// ImmutableOutput is the marker interface of §4.1: a mapper, reducer,
+// combiner, or map-runner implementing it promises never to mutate a key or
+// value after passing it to the engine's output collector. M3R then aliases
+// outputs instead of cloning them; the Hadoop engine ignores the marker
+// (it serializes immediately anyway).
+type ImmutableOutput interface {
+	// AssertImmutableOutput is a no-op marker method.
+	AssertImmutableOutput()
+}
+
+// IsImmutableOutput reports whether v carries the marker.
+func IsImmutableOutput(v any) bool {
+	_, ok := v.(ImmutableOutput)
+	return ok
+}
+
+// PairIterator iterates cached key/value pairs (returned by cache queries).
+type PairIterator interface {
+	// Next returns the next pair, or ok=false at the end.
+	Next() (wio.Pair, bool)
+}
+
+// CacheFS is implemented by the FileSystem objects M3R hands to jobs
+// (§4.2.3, §4.2.4). GetRawCache returns a synthetic FileSystem whose
+// operations affect only the cache, never the backing store — deleting
+// through it evicts cached data while leaving the file on disk.
+// GetCacheRecordReader exposes the cached key/value sequence for a path.
+type CacheFS interface {
+	// GetRawCache returns the cache-only view of this filesystem.
+	GetRawCache() dfs.FileSystem
+	// GetCacheRecordReader returns an iterator over the cached pairs for
+	// path, or ok=false when the path is not cached.
+	GetCacheRecordReader(path string) (PairIterator, bool)
+}

@@ -1,0 +1,125 @@
+package integration_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+	wc "m3r/internal/wordcount"
+)
+
+// TestEngineEquivalenceRandomized is the paper's verification methodology
+// as a property test: random job shapes over random data must produce
+// identical output on the Hadoop engine and the M3R engine ("verified
+// that they produced equivalent output", §6). Job shape dimensions:
+// mapper variant, combiner on/off, reducer count, input size/skew, text
+// vs sequence-file output.
+func TestEngineEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	mappers := []string{
+		"examples.WordCount$MutatingMap",
+		"examples.WordCount$ImmutableMap",
+		mapred.IdentityMapperName,
+	}
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		mapperName := mappers[rng.Intn(len(mappers))]
+		reducers := 1 + rng.Intn(5)
+		combiner := rng.Intn(2) == 0 && mapperName != mapred.IdentityMapperName
+		sizeKB := 4 + rng.Intn(60)
+		seqOutput := rng.Intn(2) == 0 && mapperName != mapred.IdentityMapperName
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			c := newCluster(t, 1+rng.Intn(4))
+			if err := wc.Generate(c.fs, "/data/t", int64(sizeKB)<<10, int64(trial)); err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+
+			build := func(out string) *conf.JobConf {
+				job := conf.NewJob()
+				job.SetJobName(fmt.Sprintf("equiv-%d", trial))
+				job.AddInputPath("/data/t")
+				job.SetOutputPath(out)
+				job.SetMapperClass(mapperName)
+				job.SetNumReduceTasks(reducers)
+				if mapperName == mapred.IdentityMapperName {
+					job.SetReducerClass(mapred.IdentityReducerName)
+					job.SetMapOutputKeyClass(types.LongName)
+					job.SetMapOutputValueClass(types.TextName)
+					job.SetOutputKeyClass(types.LongName)
+					job.SetOutputValueClass(types.TextName)
+				} else {
+					job.SetReducerClass("examples.WordCount$Reduce")
+					if combiner {
+						job.SetCombinerClass("examples.WordCount$Reduce")
+					}
+					job.SetMapOutputKeyClass(types.TextName)
+					job.SetMapOutputValueClass(types.IntName)
+					job.SetOutputKeyClass(types.TextName)
+					job.SetOutputValueClass(types.IntName)
+				}
+				if seqOutput {
+					job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+				}
+				return job
+			}
+
+			if _, err := c.hadoop.Submit(build("/out/h")); err != nil {
+				t.Fatalf("hadoop: %v", err)
+			}
+			if _, err := c.m3r.Submit(build("/out/m")); err != nil {
+				t.Fatalf("m3r: %v", err)
+			}
+
+			hPairs := readAllOutput(t, c.fs, "/out/h", seqOutput)
+			mPairs := readAllOutput(t, c.fs, "/out/m", seqOutput)
+			if len(hPairs) != len(mPairs) {
+				t.Fatalf("output sizes differ: hadoop %d vs m3r %d (mapper=%s reducers=%d combiner=%v)",
+					len(hPairs), len(mPairs), mapperName, reducers, combiner)
+			}
+			for k, v := range hPairs {
+				if mPairs[k] != v {
+					t.Fatalf("key %q: hadoop %q vs m3r %q", k, v, mPairs[k])
+				}
+			}
+		})
+	}
+}
+
+// readAllOutput collects output pairs into a map of serialized key →
+// aggregated serialized values (order-insensitive; counts multiplicity).
+func readAllOutput(t *testing.T, fs dfs.FileSystem, dir string, seq bool) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	if !seq {
+		for _, line := range readTextOutput(t, fs, dir) {
+			out[line] = out[line] + "|"
+		}
+		return out
+	}
+	files, err := dfs.ListRecursive(fs, dir)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, f := range files {
+		base := dfs.Base(f.Path)
+		if base == formats.SuccessMarker || f.IsDir {
+			continue
+		}
+		pairs, err := formats.ReadSeqFileAll(fs, f.Path)
+		if err != nil {
+			t.Fatalf("read %s: %v", f.Path, err)
+		}
+		for _, p := range pairs {
+			kb, _ := wio.Marshal(p.Key)
+			vb, _ := wio.Marshal(p.Value)
+			out[string(kb)] += string(vb) + "|"
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package integration_test
+
+import (
+	"testing"
+
+	"m3r/internal/counters"
+	"m3r/internal/sim"
+	"m3r/internal/wordcount"
+)
+
+// TestHadoopMultiSpillMerge forces the map-side buffer to spill many times
+// (io.sort.mb far below the map output size) and checks the multi-spill
+// merge path produces the same answer.
+func TestHadoopMultiSpillMerge(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/t", 256<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordcount.NewJob("/data/t", "/out/spilled", 3, false)
+	// A 16 KiB buffer against ~64 KiB of map output per task: every map
+	// task spills several times and must merge its spills.
+	job.SetInt64("io.sort.bytes", 16<<10)
+	rep, err := c.hadoop.Submit(job)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	maps := rep.Counters.Value(counters.JobGroup, counters.TotalLaunchedMaps)
+	if spills := c.stats.Get(sim.SpillFiles); spills <= maps {
+		t.Fatalf("expected more spill files (%d) than map tasks (%d)", spills, maps)
+	}
+	checkCounts(t, readTextOutput(t, c.fs, "/out/spilled"), want)
+
+	// Compare against a single-spill run of the same job.
+	job2 := wordcount.NewJob("/data/t", "/out/unspilled", 3, false)
+	if _, err := c.hadoop.Submit(job2); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	a := readTextOutput(t, c.fs, "/out/spilled")
+	b := readTextOutput(t, c.fs, "/out/unspilled")
+	if len(a) != len(b) {
+		t.Fatalf("spilled %d lines vs unspilled %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package integration_test
+
+import (
+	"math"
+	"testing"
+
+	"m3r/internal/engine"
+	"m3r/internal/sysml"
+)
+
+func newDriver(t *testing.T, eng engine.Engine, dir string, partitions int) *sysml.Driver {
+	t.Helper()
+	d, err := sysml.NewDriver(eng, dir, partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func matClose(t *testing.T, got [][]float64, want [][]float64, label string, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: rows %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(got[i][j]-want[i][j]) > tol*(1+math.Abs(want[i][j])) {
+				t.Fatalf("%s: (%d,%d): got %g want %g", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func colVec(m [][]float64) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		out[i] = m[i][0]
+	}
+	return out
+}
+
+// TestSysmlPageRankBothEngines runs the Fig. 11 workload at test size on
+// both engines and checks against the dense reference.
+func TestSysmlPageRankBothEngines(t *testing.T) {
+	cfg := sysml.PageRankConfig{
+		Nodes: 120, BlockSize: 30, Sparsity: 0.1, Iterations: 3, Seed: 21,
+	}
+	want := sysml.PageRankReference(cfg)
+	for _, which := range []string{"hadoop", "m3r"} {
+		t.Run(which, func(t *testing.T) {
+			c := newCluster(t, 3)
+			eng := engine.Engine(c.hadoop)
+			if which == "m3r" {
+				eng = c.m3r
+			}
+			d := newDriver(t, eng, "/pr", 3)
+			out, err := sysml.PageRank(d, cfg)
+			if err != nil {
+				t.Fatalf("pagerank: %v", err)
+			}
+			dense, err := d.ReadDense(out)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			got := colVec(dense)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("rank %d: got %g want %g", i, got[i], want[i])
+				}
+			}
+			// 3 jobs per iteration: multiply, aggregate, scale.
+			if d.JobCount() != 3*cfg.Iterations {
+				t.Errorf("job count: %d, want %d", d.JobCount(), 3*cfg.Iterations)
+			}
+		})
+	}
+}
+
+// TestSysmlLinRegBothEngines runs the Fig. 10 workload at test size.
+func TestSysmlLinRegBothEngines(t *testing.T) {
+	cfg := sysml.LinRegConfig{
+		Points: 90, Vars: 30, BlockSize: 30, Iterations: 3, Seed: 31,
+	}
+	want := sysml.LinRegReference(cfg)
+	for _, which := range []string{"hadoop", "m3r"} {
+		t.Run(which, func(t *testing.T) {
+			c := newCluster(t, 3)
+			eng := engine.Engine(c.hadoop)
+			if which == "m3r" {
+				eng = c.m3r
+			}
+			d := newDriver(t, eng, "/lr", 3)
+			w, err := sysml.LinReg(d, cfg)
+			if err != nil {
+				t.Fatalf("linreg: %v", err)
+			}
+			dense, err := d.ReadDense(w)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			got := colVec(dense)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+					t.Fatalf("w[%d]: got %g want %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSysmlGNMFBothEngines runs the Fig. 9 workload at test size.
+func TestSysmlGNMFBothEngines(t *testing.T) {
+	cfg := sysml.GNMFConfig{
+		Rows: 60, Cols: 60, Rank: 4, BlockSize: 30, Sparsity: 0.3,
+		Iterations: 2, Seed: 41,
+	}
+	wantW, wantH := sysml.GNMFReference(cfg)
+	for _, which := range []string{"hadoop", "m3r"} {
+		t.Run(which, func(t *testing.T) {
+			c := newCluster(t, 3)
+			eng := engine.Engine(c.hadoop)
+			if which == "m3r" {
+				eng = c.m3r
+			}
+			d := newDriver(t, eng, "/gnmf", 3)
+			W, H, err := sysml.GNMF(d, cfg)
+			if err != nil {
+				t.Fatalf("gnmf: %v", err)
+			}
+			gotW, err := d.ReadDense(W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotH, err := d.ReadDense(H)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matClose(t, gotW, wantW, "W", 1e-7)
+			matClose(t, gotH, wantH, "H", 1e-7)
+			// 10 jobs per iteration, plus the 2 generator-free setup jobs
+			// embedded in the loop structure (none here).
+			if d.JobCount() != 10*cfg.Iterations {
+				t.Errorf("job count: %d, want %d", d.JobCount(), 10*cfg.Iterations)
+			}
+		})
+	}
+}
+
+// TestSysmlOpsUnit exercises individual op jobs against dense algebra on
+// the M3R engine.
+func TestSysmlOpsUnit(t *testing.T) {
+	c := newCluster(t, 2)
+	d := newDriver(t, c.m3r, "/ops", 2)
+
+	A, err := d.WriteMat("A", 40, 40, 20, 20, 7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := d.WriteMat("x", 40, 1, 20, 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseA := sysml.DenseOf(40, 40, 20, 20, 7, 0.2)
+	denseX := colVec(sysml.DenseOf(40, 1, 20, 1, 8, 0))
+
+	// MatVec.
+	y, err := d.MatVec(A, x, "/ops/y")
+	if err != nil {
+		t.Fatalf("matvec: %v", err)
+	}
+	gotY, err := d.ReadDense(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		var want float64
+		for j := 0; j < 40; j++ {
+			want += denseA[i][j] * denseX[j]
+		}
+		if math.Abs(gotY[i][0]-want) > 1e-9 {
+			t.Fatalf("matvec[%d]: got %g want %g", i, gotY[i][0], want)
+		}
+	}
+
+	// TMatVec.
+	z, err := d.TMatVec(A, x, "/ops/z")
+	if err != nil {
+		t.Fatalf("tmatvec: %v", err)
+	}
+	gotZ, err := d.ReadDense(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 40; j++ {
+		var want float64
+		for i := 0; i < 40; i++ {
+			want += denseA[i][j] * denseX[i]
+		}
+		if math.Abs(gotZ[j][0]-want) > 1e-9 {
+			t.Fatalf("tmatvec[%d]: got %g want %g", j, gotZ[j][0], want)
+		}
+	}
+
+	// Dot.
+	dot, err := d.Dot(x, x)
+	if err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	var wantDot float64
+	for _, v := range denseX {
+		wantDot += v * v
+	}
+	if math.Abs(dot-wantDot) > 1e-9 {
+		t.Fatalf("dot: got %g want %g", dot, wantDot)
+	}
+
+	// Elem2 axpy.
+	s, err := d.Elem2(x, x, "axpy", 2, "/ops/s")
+	if err != nil {
+		t.Fatalf("axpy: %v", err)
+	}
+	gotS, err := d.ReadDense(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range denseX {
+		if math.Abs(gotS[i][0]-3*denseX[i]) > 1e-9 {
+			t.Fatalf("axpy[%d]: got %g want %g", i, gotS[i][0], 3*denseX[i])
+		}
+	}
+
+	// Gram (AᵀA of the skinny x treated as 40×1).
+	g, err := d.Gram(x, "atself", "/ops/g")
+	if err != nil {
+		t.Fatalf("gram: %v", err)
+	}
+	gotG, err := d.ReadDense(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotG[0][0]-wantDot) > 1e-9 {
+		t.Fatalf("gram: got %g want %g", gotG[0][0], wantDot)
+	}
+}

@@ -1,0 +1,556 @@
+// Package kvstore implements the distributed in-memory key/value store that
+// backs M3R's input/output cache (paper §5.2, Fig. 5). It exposes a
+// filesystem-like API — createWriter, createReader, delete, rename,
+// getInfo, mkdirs — whose operations are atomic (serializable) with respect
+// to each other.
+//
+// Both metadata and data are distributed across the runtime's places:
+// metadata is statically partitioned by hashing the path; data blocks live
+// wherever createWriter was invoked, recorded in their BlockInfo. Reading a
+// block at its home place aliases the stored pairs with no serialization;
+// reading it from another place pays a real serialize/ship/deserialize
+// round trip through the x10 transport.
+//
+// Locking follows the paper's protocol: each table entry is swapped for a
+// lock entry on acquisition, upgraded to a heavier-weight monitor (here: a
+// wait channel) under contention; multi-path operations use two-phase
+// locking and acquire the least common ancestor of the involved paths
+// first, which (with a total order on siblings) makes deadlock impossible.
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"m3r/internal/dfs"
+	"m3r/internal/wio"
+	"m3r/internal/x10"
+)
+
+// BlockInfo identifies one block of a path: the place that stores its data,
+// a store-assigned sequence number, and a caller-supplied tag. It is the
+// "metadata" of Fig. 5 — comparable with ==, as the paper requires a
+// "reasonable equals method".
+type BlockInfo struct {
+	Place int
+	Seq   int64
+	Tag   string
+}
+
+// PathInfo describes a path in the store.
+type PathInfo struct {
+	Path   string
+	Dir    bool
+	Blocks []BlockInfo
+	// Pairs is the total number of key/value pairs across all blocks.
+	Pairs int64
+	// Attrs are free-form path attributes (e.g. the M3R cache marks
+	// entries that exist only in the cache, never on the backing store).
+	Attrs map[string]string
+}
+
+type pathMeta struct {
+	dir    bool
+	blocks []BlockInfo
+	pairs  int64
+	attrs  map[string]string
+}
+
+// lockEntry is the paper's lock/monitor entry: held marks the lightweight
+// lock; waiters are the monitor upgrade that blocked tasks park on.
+type lockEntry struct {
+	held    bool
+	waiters []chan struct{}
+}
+
+// table is one place's concurrent hash table of metadata plus its lock
+// entries.
+type table struct {
+	mu    sync.Mutex
+	meta  map[string]*pathMeta
+	locks map[string]*lockEntry
+}
+
+func newTable() *table {
+	return &table{meta: make(map[string]*pathMeta), locks: make(map[string]*lockEntry)}
+}
+
+// acquire blocks until the entry lock for key is held by the caller.
+func (t *table) acquire(key string) {
+	t.mu.Lock()
+	e, ok := t.locks[key]
+	if !ok {
+		e = &lockEntry{}
+		t.locks[key] = e
+	}
+	if !e.held {
+		e.held = true
+		t.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.waiters = append(e.waiters, ch)
+	t.mu.Unlock()
+	<-ch
+}
+
+// release hands the entry lock to the next waiter, or frees it.
+func (t *table) release(key string) {
+	t.mu.Lock()
+	e := t.locks[key]
+	if e == nil || !e.held {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("kvstore: release of unheld lock %q", key))
+	}
+	if len(e.waiters) > 0 {
+		ch := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		t.mu.Unlock()
+		close(ch)
+		return
+	}
+	e.held = false
+	delete(t.locks, key)
+	t.mu.Unlock()
+}
+
+// dataTable is one place's block storage.
+type dataTable struct {
+	mu sync.Mutex
+	m  map[BlockInfo][]wio.Pair
+}
+
+// Store is the distributed key/value store.
+type Store struct {
+	rt      *x10.Runtime
+	meta    []*table
+	data    []*dataTable
+	seqMu   sync.Mutex
+	nextSeq int64
+}
+
+// New creates a store over the runtime's places.
+func New(rt *x10.Runtime) *Store {
+	s := &Store{rt: rt}
+	for i := 0; i < rt.NumPlaces(); i++ {
+		s.meta = append(s.meta, newTable())
+		s.data = append(s.data, &dataTable{m: make(map[BlockInfo][]wio.Pair)})
+	}
+	// The root directory always exists.
+	s.meta[s.metaPlace("/")].meta["/"] = &pathMeta{dir: true}
+	return s
+}
+
+// metaPlace returns the place whose table holds path's metadata (static
+// hash partitioning, §5.2).
+func (s *Store) metaPlace(path string) int {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return int(h.Sum32()) % len(s.meta)
+}
+
+func (s *Store) tableOf(path string) *table { return s.meta[s.metaPlace(path)] }
+
+// lockPaths acquires entry locks for the given paths following the 2PL/LCA
+// protocol: the least common ancestor directory is locked first, then the
+// paths in lexicographic order. It returns an unlock function releasing
+// everything (two-phase: nothing is released until the operation commits).
+func (s *Store) lockPaths(paths ...string) func() {
+	uniq := make(map[string]bool, len(paths))
+	var order []string
+	for _, p := range paths {
+		p = dfs.CleanPath(p)
+		if !uniq[p] {
+			uniq[p] = true
+			order = append(order, p)
+		}
+	}
+	sort.Strings(order)
+	if len(order) > 1 {
+		lca := commonAncestor(order)
+		if !uniq[lca] {
+			order = append([]string{lca}, order...)
+		} else {
+			// The LCA is one of the paths; being lexicographically
+			// smallest among its descendants it is already first.
+			sort.Slice(order, func(i, j int) bool {
+				if dfs.IsAncestor(order[i], order[j]) {
+					return true
+				}
+				if dfs.IsAncestor(order[j], order[i]) {
+					return false
+				}
+				return order[i] < order[j]
+			})
+		}
+	}
+	for _, p := range order {
+		s.tableOf(p).acquire(p)
+	}
+	return func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			p := order[i]
+			s.tableOf(p).release(p)
+		}
+	}
+}
+
+// commonAncestor returns the deepest directory that is an ancestor of every
+// path in the sorted slice.
+func commonAncestor(paths []string) string {
+	lca := dfs.Parent(paths[0])
+	if dfs.IsAncestor(paths[0], paths[len(paths)-1]) {
+		lca = paths[0]
+	}
+	for _, p := range paths[1:] {
+		for !dfs.IsAncestor(lca, p) {
+			lca = dfs.Parent(lca)
+		}
+	}
+	return lca
+}
+
+// getMeta reads a path's metadata without locking; callers hold the lock.
+func (s *Store) getMeta(path string) (*pathMeta, bool) {
+	t := s.tableOf(path)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.meta[path]
+	return m, ok
+}
+
+func (s *Store) putMeta(path string, m *pathMeta) {
+	t := s.tableOf(path)
+	t.mu.Lock()
+	t.meta[path] = m
+	t.mu.Unlock()
+}
+
+func (s *Store) delMeta(path string) {
+	t := s.tableOf(path)
+	t.mu.Lock()
+	delete(t.meta, path)
+	t.mu.Unlock()
+}
+
+// Mkdirs creates path and missing ancestors. Locks are taken top-down along
+// the tree (each new lock's LCA with the held set is its parent, which is
+// held), satisfying the protocol.
+func (s *Store) Mkdirs(path string) error {
+	path = dfs.CleanPath(path)
+	ancestors := dfs.Ancestors(path)
+	for _, a := range ancestors {
+		s.tableOf(a).acquire(a)
+	}
+	defer func() {
+		for i := len(ancestors) - 1; i >= 0; i-- {
+			s.tableOf(ancestors[i]).release(ancestors[i])
+		}
+	}()
+	for _, a := range ancestors {
+		m, ok := s.getMeta(a)
+		if !ok {
+			s.putMeta(a, &pathMeta{dir: true})
+			continue
+		}
+		if !m.dir {
+			return fmt.Errorf("kvstore: mkdirs %s: %s is a file", path, a)
+		}
+	}
+	return nil
+}
+
+// GetInfo returns a path's metadata (Fig. 5 getInfo).
+func (s *Store) GetInfo(path string) (PathInfo, bool) {
+	path = dfs.CleanPath(path)
+	unlock := s.lockPaths(path)
+	defer unlock()
+	m, ok := s.getMeta(path)
+	if !ok {
+		return PathInfo{}, false
+	}
+	blocks := make([]BlockInfo, len(m.blocks))
+	copy(blocks, m.blocks)
+	var attrs map[string]string
+	if len(m.attrs) > 0 {
+		attrs = make(map[string]string, len(m.attrs))
+		for k, v := range m.attrs {
+			attrs[k] = v
+		}
+	}
+	return PathInfo{Path: path, Dir: m.dir, Blocks: blocks, Pairs: m.pairs, Attrs: attrs}, true
+}
+
+// SetAttr sets a path attribute. The path must exist.
+func (s *Store) SetAttr(path, key, value string) error {
+	path = dfs.CleanPath(path)
+	unlock := s.lockPaths(path)
+	defer unlock()
+	m, ok := s.getMeta(path)
+	if !ok {
+		return fmt.Errorf("kvstore: setattr %s: %w", path, dfs.ErrNotFound)
+	}
+	if m.attrs == nil {
+		m.attrs = make(map[string]string)
+	}
+	m.attrs[key] = value
+	return nil
+}
+
+// Exists reports whether path is present.
+func (s *Store) Exists(path string) bool {
+	_, ok := s.GetInfo(path)
+	return ok
+}
+
+// Children returns the store paths directly under dir, sorted. (Metadata is
+// hash-partitioned, so this scans every place's table.)
+func (s *Store) Children(dir string) []string {
+	dir = dfs.CleanPath(dir)
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	var out []string
+	for _, t := range s.meta {
+		t.mu.Lock()
+		for p := range t.meta {
+			if p == dir || !strings.HasPrefix(p, prefix) {
+				continue
+			}
+			rest := p[len(prefix):]
+			if rest != "" && !strings.Contains(rest, "/") {
+				out = append(out, p)
+			}
+		}
+		t.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subtree returns all strict descendants of dir across every table.
+func (s *Store) subtree(dir string) []string {
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	var out []string
+	for _, t := range s.meta {
+		t.mu.Lock()
+		for p := range t.meta {
+			if p != dir && strings.HasPrefix(p, prefix) {
+				out = append(out, p)
+			}
+		}
+		t.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a path (and, for directories, its whole subtree) from the
+// store, freeing block data (Fig. 5 delete). Deleting a missing path is a
+// no-op so filesystem interception can forward deletes unconditionally.
+func (s *Store) Delete(path string) error {
+	path = dfs.CleanPath(path)
+	if path == "/" {
+		return fmt.Errorf("kvstore: cannot delete the root")
+	}
+	unlock := s.lockPaths(path)
+	defer unlock()
+	m, ok := s.getMeta(path)
+	if !ok {
+		return nil
+	}
+	if m.dir {
+		for _, p := range s.subtree(path) {
+			s.tableOf(p).acquire(p)
+			if dm, ok := s.getMeta(p); ok {
+				s.freeBlocks(dm.blocks)
+				s.delMeta(p)
+			}
+			s.tableOf(p).release(p)
+		}
+	}
+	s.freeBlocks(m.blocks)
+	s.delMeta(path)
+	return nil
+}
+
+func (s *Store) freeBlocks(blocks []BlockInfo) {
+	for _, b := range blocks {
+		dt := s.data[b.Place]
+		dt.mu.Lock()
+		delete(dt.m, b)
+		dt.mu.Unlock()
+	}
+}
+
+// Rename moves path src (file or directory subtree) to dst (Fig. 5 rename).
+// Renaming a missing source is a no-op (see Delete). Block data does not
+// move: only metadata is rewritten, exactly as in the paper's store.
+func (s *Store) Rename(src, dst string) error {
+	src, dst = dfs.CleanPath(src), dfs.CleanPath(dst)
+	if src == dst {
+		return nil
+	}
+	if dfs.IsAncestor(src, dst) {
+		return fmt.Errorf("kvstore: rename %s into its own subtree %s", src, dst)
+	}
+	unlock := s.lockPaths(src, dst)
+	defer unlock()
+	m, ok := s.getMeta(src)
+	if !ok {
+		return nil
+	}
+	if _, exists := s.getMeta(dst); exists {
+		return fmt.Errorf("kvstore: rename to %s: %w", dst, dfs.ErrExists)
+	}
+	if m.dir {
+		for _, p := range s.subtree(src) {
+			s.tableOf(p).acquire(p)
+			if dm, ok := s.getMeta(p); ok {
+				np := dst + strings.TrimPrefix(p, src)
+				s.putMeta(np, dm)
+				s.delMeta(p)
+			}
+			s.tableOf(p).release(p)
+		}
+	}
+	s.putMeta(dst, m)
+	s.delMeta(src)
+	return nil
+}
+
+// Writer accumulates pairs for one block; Close commits it atomically.
+type Writer struct {
+	store *Store
+	path  string
+	place int
+	tag   string
+	pairs []wio.Pair
+	done  bool
+}
+
+// CreateWriter starts a new block of path whose data will live at place —
+// "the createWriter call will create a block at the place where it is
+// invoked" (§5.2). The path is created (as a file) if missing.
+func (s *Store) CreateWriter(place int, path, tag string) (*Writer, error) {
+	path = dfs.CleanPath(path)
+	if place < 0 || place >= len(s.data) {
+		return nil, fmt.Errorf("kvstore: no such place %d", place)
+	}
+	unlock := s.lockPaths(path)
+	defer unlock()
+	m, ok := s.getMeta(path)
+	if ok && m.dir {
+		return nil, fmt.Errorf("kvstore: createWriter %s: is a directory", path)
+	}
+	if !ok {
+		s.putMeta(path, &pathMeta{})
+	}
+	return &Writer{store: s, path: path, place: place, tag: tag}, nil
+}
+
+// Append buffers one pair into the block.
+func (w *Writer) Append(p wio.Pair) { w.pairs = append(w.pairs, p) }
+
+// SetTag replaces the block tag before Close (e.g. to record the final
+// pair count).
+func (w *Writer) SetTag(tag string) { w.tag = tag }
+
+// AppendAll buffers pairs into the block.
+func (w *Writer) AppendAll(ps []wio.Pair) { w.pairs = append(w.pairs, ps...) }
+
+// Close installs the block into the store. The pairs slice is retained:
+// local readers alias it.
+func (w *Writer) Close() (BlockInfo, error) {
+	if w.done {
+		return BlockInfo{}, fmt.Errorf("kvstore: writer for %s already closed", w.path)
+	}
+	w.done = true
+	w.store.seqMu.Lock()
+	w.store.nextSeq++
+	info := BlockInfo{Place: w.place, Seq: w.store.nextSeq, Tag: w.tag}
+	w.store.seqMu.Unlock()
+
+	unlock := w.store.lockPaths(w.path)
+	defer unlock()
+	m, ok := w.store.getMeta(w.path)
+	if !ok {
+		// Deleted between CreateWriter and Close; recreate, matching the
+		// last-writer-wins semantics of a cache.
+		m = &pathMeta{}
+		w.store.putMeta(w.path, m)
+	}
+	dt := w.store.data[w.place]
+	dt.mu.Lock()
+	dt.m[info] = w.pairs
+	dt.mu.Unlock()
+	m.blocks = append(m.blocks, info)
+	m.pairs += int64(len(w.pairs))
+	return info, nil
+}
+
+// Reader iterates one block's pairs.
+type Reader struct {
+	pairs []wio.Pair
+	pos   int
+	// Remote reports whether the pairs crossed places (were deserialized).
+	Remote bool
+}
+
+// CreateReader opens block info of path for reading at place. Local reads
+// alias the stored pairs; remote reads serialize them across the transport.
+func (s *Store) CreateReader(place int, path string, info BlockInfo) (*Reader, error) {
+	path = dfs.CleanPath(path)
+	unlock := s.lockPaths(path)
+	m, ok := s.getMeta(path)
+	if !ok {
+		unlock()
+		return nil, fmt.Errorf("kvstore: read %s: %w", path, dfs.ErrNotFound)
+	}
+	found := false
+	for _, b := range m.blocks {
+		if b == info {
+			found = true
+			break
+		}
+	}
+	unlock()
+	if !found {
+		return nil, fmt.Errorf("kvstore: read %s: block %+v not present", path, info)
+	}
+	dt := s.data[info.Place]
+	dt.mu.Lock()
+	pairs := dt.m[info]
+	dt.mu.Unlock()
+	if info.Place == place {
+		return &Reader{pairs: pairs}, nil
+	}
+	res, err := s.rt.ShipPairs(info.Place, place, pairs, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pairs: res.Pairs, Remote: true}, nil
+}
+
+// Next returns the next pair, or ok=false at the end.
+func (r *Reader) Next() (wio.Pair, bool) {
+	if r.pos >= len(r.pairs) {
+		return wio.Pair{}, false
+	}
+	p := r.pairs[r.pos]
+	r.pos++
+	return p, true
+}
+
+// Len returns the number of pairs in the block.
+func (r *Reader) Len() int { return len(r.pairs) }
+
+// Pairs returns the underlying slice (aliased for local reads).
+func (r *Reader) Pairs() []wio.Pair { return r.pairs }

@@ -1,0 +1,55 @@
+package lab_test
+
+import (
+	"os"
+	"testing"
+
+	"m3r/internal/lab"
+	"m3r/internal/sim"
+	"m3r/internal/wordcount"
+)
+
+func TestClusterLifecycle(t *testing.T) {
+	c, err := lab.New(lab.Options{Nodes: 2, Cost: sim.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hadoop.Name() != "hadoop" || c.M3R.Name() != "m3r" {
+		t.Error("engines")
+	}
+	if len(c.FS.Hosts()) != 2 {
+		t.Error("hosts")
+	}
+	// Both engines are live and wired to the same HDFS.
+	if err := wordcount.Generate(c.FS, "/t", 4<<10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.M3R.Submit(wordcount.NewJob("/t", "/o1", 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Hadoop.Submit(wordcount.NewJob("/t", "/o2", 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the engines refuse work.
+	if _, err := c.M3R.Submit(wordcount.NewJob("/t", "/o3", 1, true)); err == nil {
+		t.Error("closed engine should refuse submissions")
+	}
+}
+
+func TestClusterExplicitDirKept(t *testing.T) {
+	dir := t.TempDir()
+	c, err := lab.New(lab.Options{Nodes: 1, Dir: dir, Cost: sim.Zero()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A caller-owned dir must survive Close.
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("caller-owned dir removed: %v", err)
+	}
+}

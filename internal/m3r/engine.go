@@ -1,0 +1,621 @@
+package m3r
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/engine"
+	"m3r/internal/formats"
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+	"m3r/internal/x10"
+)
+
+// Options configures an M3R engine instance.
+type Options struct {
+	// Backing is the filesystem under the cache (normally the simulated
+	// HDFS, but M3R is filesystem-agnostic, §1). Required.
+	Backing dfs.FileSystem
+	// Places is the number of long-lived worker processes (default 1).
+	Places int
+	// WorkersPerPlace bounds in-place task concurrency (default 2; the
+	// paper used 8 worker threads on 8-core nodes).
+	WorkersPerPlace int
+	// Fallback, when set, receives jobs that request the stock Hadoop
+	// engine via conf.KeyForceHadoop (§5.3 integrated mode).
+	Fallback engine.Engine
+	// Stats and Cost may be nil.
+	Stats *sim.Stats
+	Cost  *sim.CostModel
+}
+
+// Engine is the M3R engine: one instance is associated with a fixed set of
+// places and runs all jobs of the sequence submitted to it, keeping the
+// key/value cache alive in between (§3.2). It does not recover from task
+// failure — a failed task fails the job, the paper's "no resilience"
+// design point.
+type Engine struct {
+	rt       *x10.Runtime
+	cache    *Cache
+	cfs      *CachingFileSystem
+	fsID     string
+	stats    *sim.Stats
+	cost     *sim.CostModel
+	fallback engine.Engine
+
+	mu     sync.Mutex
+	jobSeq int
+	closed bool
+}
+
+// New creates an M3R engine over opts.Places simulated places.
+func New(opts Options) (*Engine, error) {
+	if opts.Backing == nil {
+		return nil, fmt.Errorf("m3r: Options.Backing is required")
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = sim.Zero()
+	}
+	rt := x10.NewRuntime(x10.Options{
+		Places:          opts.Places,
+		WorkersPerPlace: opts.WorkersPerPlace,
+		Stats:           opts.Stats,
+		Cost:            cost,
+	})
+	cache := NewCache(rt)
+	cfs := NewCachingFileSystem(opts.Backing, cache, rt)
+	return &Engine{
+		rt:       rt,
+		cache:    cache,
+		cfs:      cfs,
+		fsID:     dfs.RegisterInstance(cfs),
+		stats:    opts.Stats,
+		cost:     cost,
+		fallback: opts.Fallback,
+	}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "m3r" }
+
+// FileSystem implements engine.Engine: jobs see the caching filesystem.
+func (e *Engine) FileSystem() string { return e.fsID }
+
+// CachingFS returns the engine's caching filesystem (clients use it for
+// CacheFS interactions, §4.2).
+func (e *Engine) CachingFS() *CachingFileSystem { return e.cfs }
+
+// Cache returns the engine's key/value cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Runtime returns the engine's place runtime.
+func (e *Engine) Runtime() *x10.Runtime { return e.rt }
+
+// Stats returns the engine's statistics sink.
+func (e *Engine) Stats() *sim.Stats { return e.stats }
+
+// Close implements engine.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		dfs.DropInstance(e.fsID)
+	}
+	return nil
+}
+
+// PlaceOfPartition is the partition stability guarantee (§3.2.2.2): for a
+// given number of places, the mapping from partitions to places is
+// deterministic and identical across all jobs of the sequence.
+func (e *Engine) PlaceOfPartition(partition int) int {
+	return partition % e.rt.NumPlaces()
+}
+
+// Submit implements engine.Engine.
+func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
+	if userJob.GetBool(conf.KeyForceHadoop, false) && e.fallback != nil {
+		return e.fallback.Submit(userJob)
+	}
+	start := time.Now()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("m3r: engine is closed")
+	}
+	e.jobSeq++
+	jobID := fmt.Sprintf("job_m3r_%04d", e.jobSeq)
+	e.mu.Unlock()
+
+	job := userJob.CloneJob()
+	job.Set(conf.KeyFSInstance, e.fsID)
+	if files := job.Get(conf.KeyDistributedCacheFiles); files != "" {
+		// In-memory places read the distributed cache straight from the
+		// filesystem; expose the standard task-side key.
+		job.Set("mapred.cache.localFiles", files)
+	}
+
+	rj, err := engine.Resolve(job)
+	if err != nil {
+		return nil, err
+	}
+	// §4.1: swap Hadoop's reusing default runner for the fresh-allocating,
+	// ImmutableOutput-marked one.
+	rj.SubstituteImmutableRunner()
+
+	outputFormat, err := rj.NewOutputFormat()
+	if err != nil {
+		return nil, err
+	}
+	if err := outputFormat.CheckOutputSpecs(job); err != nil {
+		return nil, err
+	}
+
+	x := &jobExec{
+		e:            e,
+		job:          job,
+		rj:           rj,
+		jobID:        jobID,
+		jc:           counters.New(),
+		cacheEnabled: job.GetBool(conf.KeyM3RCache, true),
+		dedup:        job.GetBool(conf.KeyM3RDedup, true),
+	}
+	outPath := job.OutputPath()
+	x.temp = outPath != "" && job.IsTemporaryOutput(outPath)
+	x.writeOutput = outPath != "" && !x.temp
+	if x.writeOutput {
+		x.committer = formats.NewFileOutputCommitter(e.cfs)
+		if err := x.committer.SetupJob(job); err != nil {
+			return nil, err
+		}
+	}
+
+	splits, err := rj.InputFormat.GetSplits(job, e.rt.NumPlaces()*2)
+	if err != nil {
+		return nil, err
+	}
+	assignments := x.plan(splits)
+
+	for i := 0; i < rj.NumReducers; i++ {
+		x.parts = append(x.parts, &partitionInput{bySrc: make(map[int][][]wio.Pair)})
+	}
+
+	if err := x.run(assignments); err != nil {
+		return nil, fmt.Errorf("m3r: %s: %w", jobID, err)
+	}
+	if x.writeOutput {
+		if err := x.committer.CommitJob(job); err != nil {
+			return nil, err
+		}
+	}
+	engine.NotifyJobEnd(job, jobID)
+	return &engine.Report{
+		JobID:    jobID,
+		JobName:  job.JobName(),
+		Engine:   e.Name(),
+		Queue:    job.GetDefault(conf.KeyJobQueueName, "default"),
+		Counters: x.jc,
+		Wall:     time.Since(start),
+	}, nil
+}
+
+// jobExec is the state of one executing job.
+type jobExec struct {
+	e            *Engine
+	job          *conf.JobConf
+	rj           *engine.ResolvedJob
+	jobID        string
+	committer    *formats.FileOutputCommitter
+	jc           *counters.Counters
+	parts        []*partitionInput
+	temp         bool
+	writeOutput  bool
+	cacheEnabled bool
+	dedup        bool
+	cmu          sync.Mutex
+}
+
+func (x *jobExec) mergeCounters(ctx *engine.TaskContext) {
+	x.cmu.Lock()
+	x.jc.MergeFrom(ctx.Counters)
+	x.cmu.Unlock()
+}
+
+// mapAssignment is one planned map task.
+type mapAssignment struct {
+	index  int
+	split  formats.InputSplit
+	place  int
+	cached []CachedRange
+	hit    bool
+}
+
+// plan assigns every split to a place: cache blocks pin cached splits
+// (§3.2.1), PlacedSplits pin to their partition's stable place (§4.3),
+// HDFS locality pins file splits, and everything else round-robins.
+func (x *jobExec) plan(splits []formats.InputSplit) []*mapAssignment {
+	e := x.e
+	P := e.rt.NumPlaces()
+	rr := 0
+	out := make([]*mapAssignment, 0, len(splits))
+	for i, s := range splits {
+		a := &mapAssignment{index: i, split: s}
+		out = append(out, a)
+		if x.cacheEnabled {
+			if name, ok := formats.SplitName(s); ok {
+				if ranges, hit := e.cache.LookupSplit(name, fileSplitViewOf(e.cfs, s)); hit && len(ranges) > 0 {
+					a.cached, a.hit = ranges, true
+					a.place = ranges[0].Block.Place
+					continue
+				}
+			}
+		}
+		if ps, ok := s.(formats.PlacedSplit); ok && ps.Partition() >= 0 {
+			a.place = e.PlaceOfPartition(ps.Partition())
+			continue
+		}
+		placed := false
+		for _, h := range s.Locations() {
+			if p := e.rt.PlaceOfHost(h); p >= 0 {
+				a.place = p
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			a.place = rr % P
+			rr++
+		}
+	}
+	return out
+}
+
+// fileSplitViewOf unwraps delegating splits down to a FileSplit and builds
+// the cache's view of it.
+func fileSplitViewOf(fs dfs.FileSystem, s formats.InputSplit) *fileSplitView {
+	for {
+		if d, ok := s.(formats.DelegatingSplit); ok {
+			s = d.GetDelegate()
+			continue
+		}
+		break
+	}
+	f, ok := s.(*formats.FileSplit)
+	if !ok {
+		return nil
+	}
+	v := &fileSplitView{path: dfs.CleanPath(f.Path), start: f.Start, length: f.Len}
+	if st, err := fs.Stat(v.path); err == nil {
+		v.wholeFile = f.Start == 0 && f.Len == st.Size
+	}
+	return v
+}
+
+// run executes the map phase, the global shuffle barrier, and the reduce
+// phase across all places.
+func (x *jobExec) run(assignments []*mapAssignment) error {
+	e := x.e
+	P := e.rt.NumPlaces()
+	byPlace := make([][]*mapAssignment, P)
+	for _, a := range assignments {
+		byPlace[a.place] = append(byPlace[a.place], a)
+	}
+	team := x10.NewTeam(P)
+	var mapFailed atomic.Bool
+	fin := x10.NewFinish()
+	for p := 0; p < P; p++ {
+		p := p
+		fin.Async(func() error {
+			// Map phase at this place: every task occupies a worker slot.
+			inner := x10.NewFinish()
+			for _, a := range byPlace[p] {
+				a := a
+				inner.Async(func() error {
+					var err error
+					e.rt.At(p, func() { err = x.runMapTask(a) })
+					return err
+				})
+			}
+			mapErr := inner.Wait()
+			if mapErr != nil {
+				mapFailed.Store(true)
+			}
+			if x.rj.MapOnly {
+				return mapErr
+			}
+			// §5.1: "No reducer is allowed to run until globally all
+			// shuffle messages have been sent."
+			team.Barrier()
+			if mapErr != nil {
+				return mapErr
+			}
+			if mapFailed.Load() {
+				return nil // another place failed; the job is already lost
+			}
+			// Reduce phase: this place owns partitions q with stable
+			// mapping q -> q % P.
+			rinner := x10.NewFinish()
+			for q := p; q < x.rj.NumReducers; q += P {
+				q := q
+				rinner.Async(func() error {
+					var err error
+					e.rt.At(p, func() { err = x.runReduceTask(q) })
+					return err
+				})
+			}
+			return rinner.Wait()
+		})
+	}
+	return fin.Wait()
+}
+
+// runMapTask executes one map task at its assigned place.
+func (x *jobExec) runMapTask(a *mapAssignment) (err error) {
+	e := x.e
+	e.stats.Add(sim.TasksLaunched, 1)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("map task %d panicked: %v", a.index, p)
+		}
+	}()
+	taskJob := x.job.CloneJob()
+	taskID := fmt.Sprintf("attempt_%s_m_%06d_0", x.jobID, a.index)
+	ctx := engine.NewTaskContext(taskJob, taskID, a.split)
+	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedMaps, 1)
+
+	mr := x.rj.NewMapRun()
+	mr.Configure(taskJob)
+
+	var collector interface {
+		Collect(k, v wio.Writable) error
+	}
+	var finish func() error
+	if x.rj.MapOnly {
+		moc, err := x.newMapOnlyCollector(a, taskJob, ctx)
+		if err != nil {
+			return err
+		}
+		collector, finish = moc, moc.close
+	} else {
+		sc := x.newShuffleCollector(a, ctx)
+		collector, finish = sc, sc.flush
+	}
+	out := mapredCollector{collector}
+
+	if err := x.feedMapTask(a, mr, out, ctx, taskJob); err != nil {
+		return fmt.Errorf("map task %d: %w", a.index, err)
+	}
+	if err := finish(); err != nil {
+		return fmt.Errorf("map task %d output: %w", a.index, err)
+	}
+	x.mergeCounters(ctx)
+	return nil
+}
+
+// mapredCollector adapts the minimal collector shape to mapred's interface.
+type mapredCollector struct {
+	c interface {
+		Collect(k, v wio.Writable) error
+	}
+}
+
+func (m mapredCollector) Collect(k, v wio.Writable) error { return m.c.Collect(k, v) }
+
+// feedMapTask routes input into the mapper: cached pairs (aliased from the
+// heap), a fresh read that populates the cache, or a plain streamed read
+// for unnameable splits (§3.2.1, §4.2.1).
+func (x *jobExec) feedMapTask(a *mapAssignment, mr engine.MapRun,
+	out mapredCollector, ctx *engine.TaskContext, taskJob *conf.JobConf) error {
+	e := x.e
+	if a.hit {
+		pairs, _, err := e.cache.ReadRanges(a.place, a.cached)
+		if err != nil {
+			return err
+		}
+		ctx.IncrCounter(counters.M3RGroup, counters.CacheHitSplits, 1)
+		e.stats.Add(sim.CacheHits, 1)
+		return runPairs(mr, pairs, out, ctx)
+	}
+	name, nameOK := formats.SplitName(a.split)
+	if nameOK && x.cacheEnabled {
+		reader, err := x.rj.InputFormat.GetRecordReader(a.split, taskJob)
+		if err != nil {
+			return err
+		}
+		pairs, err := materialize(reader)
+		if cerr := reader.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.cache.PutSplit(a.place, name, pairs); err != nil {
+			return err
+		}
+		ctx.IncrCounter(counters.M3RGroup, counters.CacheMissSplits, 1)
+		e.stats.Add(sim.CacheMisses, 1)
+		e.stats.Add(sim.CacheWrites, 1)
+		return runPairs(mr, pairs, out, ctx)
+	}
+	// Unnameable split: stream it, bypassing the cache (§4.2.1).
+	reader, err := x.rj.InputFormat.GetRecordReader(a.split, taskJob)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	e.stats.Add(sim.CacheMisses, 1)
+	return mr.Run(reader, out, ctx)
+}
+
+// runPairs feeds in-memory pairs to the map task, preferring the direct
+// fast path.
+func runPairs(mr engine.MapRun, pairs []wio.Pair, out mapredCollector, ctx *engine.TaskContext) error {
+	if pr, ok := mr.(engine.PairsRunner); ok {
+		return pr.RunPairs(pairs, out, ctx)
+	}
+	return fmt.Errorf("m3r: map runner %T cannot consume cached pairs", mr)
+}
+
+// materialize reads a whole split with fresh holders per record, producing
+// the key/value sequence the cache retains.
+func materialize(reader formats.RecordReader) ([]wio.Pair, error) {
+	var out []wio.Pair
+	for {
+		k := reader.CreateKey()
+		v := reader.CreateValue()
+		ok, err := reader.Next(k, v)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, wio.Pair{Key: k, Value: v})
+	}
+}
+
+// partitionInput accumulates one reduce partition's shuffled pairs, keyed
+// by source map task so reduce input order is deterministic.
+type partitionInput struct {
+	mu    sync.Mutex
+	bySrc map[int][][]wio.Pair
+}
+
+func (pi *partitionInput) add(src int, pairs []wio.Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	pi.mu.Lock()
+	pi.bySrc[src] = append(pi.bySrc[src], pairs)
+	pi.mu.Unlock()
+}
+
+// gather concatenates all sources' batches in task order.
+func (pi *partitionInput) gather() []wio.Pair {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	srcs := make([]int, 0, len(pi.bySrc))
+	total := 0
+	for s, batches := range pi.bySrc {
+		srcs = append(srcs, s)
+		for _, b := range batches {
+			total += len(b)
+		}
+	}
+	sort.Ints(srcs)
+	out := make([]wio.Pair, 0, total)
+	for _, s := range srcs {
+		for _, b := range pi.bySrc[s] {
+			out = append(out, b...)
+		}
+	}
+	return out
+}
+
+// runReduceTask executes one reduce partition at its stable place.
+func (x *jobExec) runReduceTask(q int) (err error) {
+	e := x.e
+	e.stats.Add(sim.TasksLaunched, 1)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("reduce task %d panicked: %v", q, p)
+		}
+	}()
+	place := e.PlaceOfPartition(q)
+	taskJob := x.job.CloneJob()
+	taskID := fmt.Sprintf("attempt_%s_r_%06d_0", x.jobID, q)
+	ctx := engine.NewTaskContext(taskJob, taskID, nil)
+	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedReduces, 1)
+
+	pairs := x.parts[q].gather()
+	// The HMR API promises reducers sorted input even in memory.
+	engine.SortPairs(pairs, x.rj.SortCmp)
+
+	reducer := x.rj.NewReduceRun()
+	reducer.Configure(taskJob)
+
+	fileName := fmt.Sprintf("part-%05d", q)
+	outPath := x.job.OutputPath()
+	var cacheW *OutputWriter
+	var rw formats.RecordWriter
+	if outPath != "" {
+		finalPath := dfs.Join(outPath, fileName)
+		if x.cacheEnabled {
+			w, err := e.cache.NewOutputWriter(place, finalPath, x.temp)
+			if err != nil {
+				return err
+			}
+			cacheW = w
+		}
+		if x.writeOutput {
+			x.committer.SetupTask(taskJob, taskID)
+			outputFormat, err := x.rj.NewOutputFormat()
+			if err != nil {
+				return err
+			}
+			w, err := outputFormat.GetRecordWriter(taskJob, fileName)
+			if err != nil {
+				return err
+			}
+			rw = w
+		} else {
+			// Temporary output: bytes never reach the filesystem (§4.2.3).
+			ctx.IncrCounter(counters.M3RGroup, counters.TempOutputsElided, 1)
+		}
+	}
+
+	collector := mapredCollector{collectFunc(func(k, v wio.Writable) error {
+		ctx.IncrCounter(counters.TaskGroup, counters.ReduceOutputRecords, 1)
+		if cacheW != nil {
+			ck, cv := k, v
+			if !x.rj.ReduceImmutable {
+				ck, cv = wio.MustClone(k), wio.MustClone(v)
+				e.stats.Add(sim.ClonedPairs, 1)
+				ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+			} else {
+				e.stats.Add(sim.AliasedPairs, 1)
+				ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+			}
+			cacheW.Append(wio.Pair{Key: ck, Value: cv})
+		}
+		if rw != nil {
+			return rw.Write(k, v)
+		}
+		return nil
+	})}
+
+	if err := engine.DriveReduce(reducer, x.rj.GroupCmp, pairs, collector, ctx, false); err != nil {
+		if rw != nil {
+			rw.Close()
+			x.committer.AbortTask(taskJob, taskID)
+		}
+		return fmt.Errorf("reduce task %d: %w", q, err)
+	}
+	if rw != nil {
+		if err := rw.Close(); err != nil {
+			return err
+		}
+		if err := x.committer.CommitTask(taskJob, taskID); err != nil {
+			return err
+		}
+	}
+	if cacheW != nil {
+		if err := cacheW.Close(); err != nil {
+			return err
+		}
+	}
+	x.mergeCounters(ctx)
+	return nil
+}
+
+// collectFunc adapts a function to the collector shape.
+type collectFunc func(k, v wio.Writable) error
+
+func (f collectFunc) Collect(k, v wio.Writable) error { return f(k, v) }

@@ -1,0 +1,298 @@
+package m3r
+
+import (
+	"bytes"
+	"fmt"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/engine"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+)
+
+// shuffleCollector receives one map task's output and routes it to reduce
+// partitions, implementing the paper's shuffle cost structure (§3.2.2):
+//
+//   - pairs for partitions co-located at this place are delivered without
+//     serialization — aliased when the map side declared ImmutableOutput,
+//     deep-cloned otherwise (§3.2.2.1, §4.1);
+//   - pairs for remote places are serialized immediately into a
+//     per-destination buffer through the de-duplicating encoder, so a
+//     broadcast value crosses the wire once per place (§3.2.2.3);
+//   - with a combiner configured, pairs are buffered per partition and
+//     combined before delivery.
+type shuffleCollector struct {
+	x     *jobExec
+	ctx   *engine.TaskContext
+	place int
+	src   int // map task index, for deterministic reduce input order
+	R, P  int
+
+	partitioner mapred.Partitioner
+	immutable   bool
+
+	// Non-combiner path.
+	localBufs map[int][]wio.Pair
+	encoders  map[int]*destEncoder
+
+	// Combiner path.
+	combineBufs [][]wio.Pair
+}
+
+// destEncoder accumulates the encoded stream for one destination place.
+type destEncoder struct {
+	buf bytes.Buffer
+	enc *wio.Encoder
+	n   int
+}
+
+func (x *jobExec) newShuffleCollector(a *mapAssignment, ctx *engine.TaskContext) *shuffleCollector {
+	sc := &shuffleCollector{
+		x:           x,
+		ctx:         ctx,
+		place:       a.place,
+		src:         a.index,
+		R:           x.rj.NumReducers,
+		P:           x.e.rt.NumPlaces(),
+		partitioner: x.rj.NewPartitioner(),
+		immutable:   engine.MapTaskImmutable(x.rj, a.split),
+		localBufs:   make(map[int][]wio.Pair),
+		encoders:    make(map[int]*destEncoder),
+	}
+	if x.rj.HasCombiner {
+		sc.combineBufs = make([][]wio.Pair, sc.R)
+	}
+	return sc
+}
+
+// Collect implements the collector contract.
+func (sc *shuffleCollector) Collect(key, value wio.Writable) error {
+	q := sc.partitioner.GetPartition(key, value, sc.R)
+	if q < 0 || q >= sc.R {
+		return fmt.Errorf("m3r: partitioner returned %d of %d", q, sc.R)
+	}
+	sc.ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+	if sc.combineBufs != nil {
+		// Buffer for the combiner; the mapper may reuse its objects, so
+		// unmarked map sides pay a clone here.
+		k, v := key, value
+		if !sc.immutable {
+			k, v = wio.MustClone(key), wio.MustClone(value)
+			sc.countClone()
+		} else {
+			sc.countAlias()
+		}
+		sc.combineBufs[q] = append(sc.combineBufs[q], wio.Pair{Key: k, Value: v})
+		return nil
+	}
+	return sc.deliver(q, key, value, sc.immutable)
+}
+
+func (sc *shuffleCollector) countClone() {
+	sc.x.e.stats.Add(sim.ClonedPairs, 1)
+	sc.ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+}
+
+func (sc *shuffleCollector) countAlias() {
+	sc.x.e.stats.Add(sim.AliasedPairs, 1)
+	sc.ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+}
+
+// deliver routes one pair to its partition's place.
+func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bool) error {
+	d := q % sc.P
+	if d == sc.place {
+		// Co-located: no serialization ever (§3.2.2.1); clone only to
+		// protect against output reuse (§4.1).
+		k, v := key, value
+		if !immutable {
+			k, v = wio.MustClone(key), wio.MustClone(value)
+			sc.countClone()
+		} else {
+			sc.countAlias()
+		}
+		sc.localBufs[q] = append(sc.localBufs[q], wio.Pair{Key: k, Value: v})
+		sc.ctx.IncrCounter(counters.M3RGroup, counters.LocalShufflePairs, 1)
+		sc.x.e.stats.Add(sim.LocalPairs, 1)
+		return nil
+	}
+	// Remote: serialize now (immediately, like Hadoop's collect — the
+	// object may be reused right after we return) into the destination's
+	// stream. De-duplication identifies repeats by object identity, which
+	// is only sound when emitted objects are never mutated; on unmarked
+	// map sides it is disabled (a reused-and-mutated object must not
+	// back-reference its stale bytes). This mirrors real M3R, where
+	// unmarked output is copied before the serializer ever sees it.
+	de := sc.encoders[d]
+	if de == nil {
+		de = &destEncoder{}
+		de.enc = wio.NewEncoder(&de.buf, sc.x.dedup && immutable)
+		sc.encoders[d] = de
+	}
+	if err := de.enc.EncodeUvarint(uint64(q)); err != nil {
+		return err
+	}
+	if err := de.enc.EncodePair(wio.Pair{Key: key, Value: value}); err != nil {
+		return err
+	}
+	de.n++
+	sc.ctx.IncrCounter(counters.M3RGroup, counters.RemoteShufflePairs, 1)
+	return nil
+}
+
+// flush completes the task's shuffle: run the combiner if configured,
+// install local buffers into their partitions, and ship each remote buffer
+// (decode on the destination side yields fresh objects, with dedup aliases
+// for repeated values).
+func (sc *shuffleCollector) flush() error {
+	if sc.combineBufs != nil {
+		for q, buf := range sc.combineBufs {
+			if len(buf) == 0 {
+				continue
+			}
+			combined, err := engine.Combine(sc.x.rj, buf, sc.ctx)
+			if err != nil {
+				return err
+			}
+			// Combine returns engine-owned pairs (cloned unless the
+			// combiner is marked), so they are safe to alias and to
+			// de-duplicate.
+			for _, p := range combined {
+				if err := sc.deliver(q, p.Key, p.Value, true); err != nil {
+					return err
+				}
+			}
+			sc.combineBufs[q] = nil
+		}
+	}
+	for q, pairs := range sc.localBufs {
+		sc.x.parts[q].add(sc.src, pairs)
+	}
+	sc.localBufs = nil
+
+	e := sc.x.e
+	for d, de := range sc.encoders {
+		if err := de.enc.Close(); err != nil {
+			return err
+		}
+		payload := de.buf.Bytes()
+		n := int64(len(payload))
+		e.stats.Add(sim.RemoteBytes, n)
+		e.stats.Add(sim.RemoteTransfers, 1)
+		e.stats.Add(sim.DedupHits, int64(de.enc.DedupHits()))
+		sc.ctx.IncrCounter(counters.TaskGroup, counters.RemoteShuffleBytes, n)
+		sc.ctx.IncrCounter(counters.M3RGroup, counters.DedupHits, int64(de.enc.DedupHits()))
+		e.cost.ChargeNet(e.stats, n)
+
+		// "Arrive" at place d: decode into fresh objects.
+		dec := wio.NewDecoder(bytes.NewReader(payload))
+		byPartition := make(map[int][]wio.Pair)
+		for i := 0; i < de.n; i++ {
+			qv, err := dec.DecodeUvarint()
+			if err != nil {
+				return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
+			}
+			pair, err := dec.DecodePair()
+			if err != nil {
+				return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
+			}
+			q := int(qv)
+			byPartition[q] = append(byPartition[q], pair)
+		}
+		for q, pairs := range byPartition {
+			sc.x.parts[q].add(sc.src, pairs)
+		}
+	}
+	sc.encoders = nil
+	return nil
+}
+
+// mapOnlyCollector sends map output straight to the output format and the
+// cache, for zero-reducer jobs (§5.3).
+type mapOnlyCollector struct {
+	x         *jobExec
+	ctx       *engine.TaskContext
+	taskID    string
+	taskJob   *conf.JobConf
+	immutable bool
+	cacheW    *OutputWriter
+	rw        formats.RecordWriter
+}
+
+func (x *jobExec) newMapOnlyCollector(a *mapAssignment, taskJob *conf.JobConf, ctx *engine.TaskContext) (*mapOnlyCollector, error) {
+	moc := &mapOnlyCollector{
+		x:         x,
+		ctx:       ctx,
+		taskID:    ctx.TaskID,
+		taskJob:   taskJob,
+		immutable: engine.MapTaskImmutable(x.rj, a.split),
+	}
+	outPath := x.job.OutputPath()
+	if outPath == "" {
+		return moc, nil
+	}
+	fileName := fmt.Sprintf("part-%05d", a.index)
+	if x.cacheEnabled {
+		w, err := x.e.cache.NewOutputWriter(a.place, dfs.Join(outPath, fileName), x.temp)
+		if err != nil {
+			return nil, err
+		}
+		moc.cacheW = w
+	}
+	if x.writeOutput {
+		x.committer.SetupTask(taskJob, moc.taskID)
+		outputFormat, err := x.rj.NewOutputFormat()
+		if err != nil {
+			return nil, err
+		}
+		rw, err := outputFormat.GetRecordWriter(taskJob, fileName)
+		if err != nil {
+			return nil, err
+		}
+		moc.rw = rw
+	} else {
+		ctx.IncrCounter(counters.M3RGroup, counters.TempOutputsElided, 1)
+	}
+	return moc, nil
+}
+
+// Collect implements the collector contract.
+func (moc *mapOnlyCollector) Collect(key, value wio.Writable) error {
+	moc.ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+	if moc.cacheW != nil {
+		k, v := key, value
+		if !moc.immutable {
+			k, v = wio.MustClone(key), wio.MustClone(value)
+			moc.x.e.stats.Add(sim.ClonedPairs, 1)
+			moc.ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+		} else {
+			moc.x.e.stats.Add(sim.AliasedPairs, 1)
+			moc.ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+		}
+		moc.cacheW.Append(wio.Pair{Key: k, Value: v})
+	}
+	if moc.rw != nil {
+		return moc.rw.Write(key, value)
+	}
+	return nil
+}
+
+// close commits the task's output.
+func (moc *mapOnlyCollector) close() error {
+	if moc.rw != nil {
+		if err := moc.rw.Close(); err != nil {
+			return err
+		}
+		if err := moc.x.committer.CommitTask(moc.taskJob, moc.taskID); err != nil {
+			return err
+		}
+	}
+	if moc.cacheW != nil {
+		return moc.cacheW.Close()
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package mapred is the "old-style" Hadoop MapReduce API (the mapred.*
+// interfaces of Hadoop 0.22): Mapper/Reducer with OutputCollector and
+// Reporter, Partitioner, and the MapRunnable escape hatch. The companion
+// package mapreduce provides the "new-style" context-based API; as in the
+// paper (§5.3) the two share no common types and the engines accept any
+// combination of old and new components via the adapters in
+// internal/engine.
+package mapred
+
+import (
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/formats"
+	"m3r/internal/registry"
+	"m3r/internal/wio"
+)
+
+// Reporter lets task code report progress, update counters, and inspect
+// the input split it is processing (Hadoop's Reporter.getInputSplit, which
+// the DelegatingMapper of MultipleInputs relies on).
+type Reporter interface {
+	// Progress notes liveness (a no-op in these engines, kept for API
+	// fidelity).
+	Progress()
+	// SetStatus records a human-readable task status.
+	SetStatus(status string)
+	// IncrCounter adds amount to the named counter.
+	IncrCounter(group, name string, amount int64)
+	// Counter returns the named counter object.
+	Counter(group, name string) *counters.Counter
+	// InputSplit returns the split a map task is consuming (nil in
+	// reducers).
+	InputSplit() formats.InputSplit
+}
+
+// OutputCollector receives the output pairs of a mapper or reducer.
+type OutputCollector interface {
+	Collect(key, value wio.Writable) error
+}
+
+// CollectorFunc adapts a function to OutputCollector.
+type CollectorFunc func(key, value wio.Writable) error
+
+// Collect implements OutputCollector.
+func (f CollectorFunc) Collect(key, value wio.Writable) error { return f(key, value) }
+
+// ValueIterator streams the values of one reduce group.
+type ValueIterator interface {
+	// Next returns the next value, or ok=false at the end of the group.
+	Next() (value wio.Writable, ok bool)
+}
+
+// Mapper is the old-style map interface.
+type Mapper interface {
+	// Configure is called once per task with the job configuration.
+	Configure(job *conf.JobConf)
+	// Map is called once per input record. Keys and values may be reused
+	// by the caller between calls (the Hadoop contract).
+	Map(key, value wio.Writable, output OutputCollector, reporter Reporter) error
+	// Close is called after the last record.
+	Close() error
+}
+
+// Reducer is the old-style reduce (and combine) interface.
+type Reducer interface {
+	Configure(job *conf.JobConf)
+	// Reduce is called once per key group with an iterator over the
+	// group's values.
+	Reduce(key wio.Writable, values ValueIterator, output OutputCollector, reporter Reporter) error
+	Close() error
+}
+
+// Partitioner routes map output keys to reduce partitions.
+type Partitioner interface {
+	Configure(job *conf.JobConf)
+	// GetPartition returns the partition for key in [0, numPartitions).
+	GetPartition(key, value wio.Writable, numPartitions int) int
+}
+
+// MapRunnable lets a job replace the record-pumping loop that connects the
+// RecordReader to the Mapper (§4.1).
+type MapRunnable interface {
+	Configure(job *conf.JobConf)
+	Run(reader formats.RecordReader, output OutputCollector, reporter Reporter) error
+}
+
+// Base provides no-op Configure/Close so simple components can embed it,
+// mirroring Hadoop's MapReduceBase.
+type Base struct{}
+
+// Configure implements the Configure half of Mapper/Reducer.
+func (Base) Configure(*conf.JobConf) {}
+
+// Close implements the Close half of Mapper/Reducer.
+func (Base) Close() error { return nil }
+
+// RegisterMapper installs an old-style mapper factory under name.
+func RegisterMapper(name string, f func() Mapper) {
+	registry.Register(registry.KindMapper, name, func() any { return f() })
+}
+
+// RegisterReducer installs an old-style reducer factory under name.
+func RegisterReducer(name string, f func() Reducer) {
+	registry.Register(registry.KindReducer, name, func() any { return f() })
+}
+
+// RegisterPartitioner installs a partitioner factory under name.
+func RegisterPartitioner(name string, f func() Partitioner) {
+	registry.Register(registry.KindPartitioner, name, func() any { return f() })
+}
+
+// RegisterMapRunner installs a MapRunnable factory under name.
+func RegisterMapRunner(name string, f func() MapRunnable) {
+	registry.Register(registry.KindMapRunner, name, func() any { return f() })
+}
+
+// RegisterComparator installs a comparator factory under name, for use as a
+// job's sort or grouping comparator.
+func RegisterComparator(name string, f func() wio.Comparator) {
+	registry.Register(registry.KindComparator, name, func() any { return f() })
+}

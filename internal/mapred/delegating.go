@@ -1,0 +1,51 @@
+package mapred
+
+import (
+	"fmt"
+
+	"m3r/internal/conf"
+	"m3r/internal/formats"
+	"m3r/internal/registry"
+	"m3r/internal/wio"
+)
+
+// DelegatingMapper is the task-side half of MultipleInputs (§4.2.2): it
+// discovers the TaggedInputSplit it was launched on through the Reporter
+// and forwards every record to the mapper class named in the tag.
+type DelegatingMapper struct {
+	job      *conf.JobConf
+	delegate Mapper
+}
+
+// Configure implements Mapper.
+func (d *DelegatingMapper) Configure(job *conf.JobConf) { d.job = job }
+
+// Map implements Mapper.
+func (d *DelegatingMapper) Map(key, value wio.Writable, output OutputCollector, reporter Reporter) error {
+	if d.delegate == nil {
+		split := reporter.InputSplit()
+		tagged, ok := split.(*formats.TaggedInputSplit)
+		if !ok {
+			return fmt.Errorf("mapred: DelegatingMapper needs a TaggedInputSplit, got %T", split)
+		}
+		m, err := registry.New(registry.KindMapper, tagged.MapperName)
+		if err != nil {
+			return err
+		}
+		mapper, ok := m.(Mapper)
+		if !ok {
+			return fmt.Errorf("mapred: %q is not an old-style Mapper", tagged.MapperName)
+		}
+		mapper.Configure(d.job)
+		d.delegate = mapper
+	}
+	return d.delegate.Map(key, value, output, reporter)
+}
+
+// Close implements Mapper.
+func (d *DelegatingMapper) Close() error {
+	if d.delegate != nil {
+		return d.delegate.Close()
+	}
+	return nil
+}

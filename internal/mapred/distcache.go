@@ -1,0 +1,53 @@
+package mapred
+
+import (
+	"fmt"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/formats"
+)
+
+// Distributed cache support (§5.3: "M3R also supports many auxiliary
+// features of Hadoop, including counters and the distributed cache").
+// Jobs register filesystem paths whose contents every task may read; on a
+// real cluster Hadoop localizes them onto each node, here tasks read them
+// through the job filesystem (which, under M3R, is the caching filesystem
+// — so repeated reads of hot side files stay in memory).
+
+// AddCacheFile registers a filesystem path with the job's distributed
+// cache.
+func AddCacheFile(job *conf.JobConf, path string) {
+	cur := job.Get(conf.KeyDistributedCacheFiles)
+	if cur == "" {
+		job.Set(conf.KeyDistributedCacheFiles, dfs.CleanPath(path))
+		return
+	}
+	job.Set(conf.KeyDistributedCacheFiles, cur+","+dfs.CleanPath(path))
+}
+
+// GetCacheFiles returns the registered distributed-cache paths.
+func GetCacheFiles(job *conf.JobConf) []string {
+	return job.GetStrings(conf.KeyDistributedCacheFiles)
+}
+
+// ReadCacheFile reads one distributed-cache file's bytes through the job
+// filesystem. The path must have been registered with AddCacheFile.
+func ReadCacheFile(job *conf.JobConf, path string) ([]byte, error) {
+	path = dfs.CleanPath(path)
+	registered := false
+	for _, p := range GetCacheFiles(job) {
+		if p == path {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		return nil, fmt.Errorf("mapred: %s is not in the distributed cache", path)
+	}
+	fs, err := formats.FS(job)
+	if err != nil {
+		return nil, err
+	}
+	return dfs.ReadAll(fs, path)
+}

@@ -1,0 +1,102 @@
+package mapred
+
+import (
+	"fmt"
+
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// Registered names of the standard library components.
+const (
+	IdentityMapperName     = "org.apache.hadoop.mapred.lib.IdentityMapper"
+	IdentityReducerName    = "org.apache.hadoop.mapred.lib.IdentityReducer"
+	InverseMapperName      = "org.apache.hadoop.mapred.lib.InverseMapper"
+	LongSumReducerName     = "org.apache.hadoop.mapred.lib.LongSumReducer"
+	HashPartitionerName    = "org.apache.hadoop.mapred.lib.HashPartitioner"
+	DefaultMapRunnerName   = "org.apache.hadoop.mapred.MapRunner"
+	ImmutableMapRunnerName = "com.ibm.m3r.hadoop.ImmutableMapRunner"
+	DelegatingMapperName   = "org.apache.hadoop.mapred.lib.DelegatingMapper"
+)
+
+func init() {
+	RegisterMapper(IdentityMapperName, func() Mapper { return &IdentityMapper{} })
+	RegisterReducer(IdentityReducerName, func() Reducer { return &IdentityReducer{} })
+	RegisterMapper(InverseMapperName, func() Mapper { return &InverseMapper{} })
+	RegisterReducer(LongSumReducerName, func() Reducer { return &LongSumReducer{} })
+	RegisterPartitioner(HashPartitionerName, func() Partitioner { return &HashPartitioner{} })
+	RegisterMapRunner(DefaultMapRunnerName, func() MapRunnable { return &MapRunner{} })
+	RegisterMapRunner(ImmutableMapRunnerName, func() MapRunnable { return &ImmutableMapRunner{} })
+	RegisterMapper(DelegatingMapperName, func() Mapper { return &DelegatingMapper{} })
+}
+
+// IdentityMapper passes every input pair through unchanged. Note that with
+// the default MapRunner the emitted objects are the runner's reused
+// holders — the exact situation that forces M3R to clone (§4.1).
+type IdentityMapper struct{ Base }
+
+// Map implements Mapper.
+func (*IdentityMapper) Map(key, value wio.Writable, output OutputCollector, _ Reporter) error {
+	return output.Collect(key, value)
+}
+
+// IdentityReducer emits every value of the group with the group key.
+type IdentityReducer struct{ Base }
+
+// Reduce implements Reducer.
+func (*IdentityReducer) Reduce(key wio.Writable, values ValueIterator, output OutputCollector, _ Reporter) error {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return nil
+		}
+		if err := output.Collect(key, v); err != nil {
+			return err
+		}
+	}
+}
+
+// InverseMapper emits (value, key).
+type InverseMapper struct{ Base }
+
+// Map implements Mapper.
+func (*InverseMapper) Map(key, value wio.Writable, output OutputCollector, _ Reporter) error {
+	return output.Collect(value, key)
+}
+
+// LongSumReducer sums LongWritable values per key. It allocates a fresh
+// output value per group and never touches it again, so it is safe to mark
+// ImmutableOutput.
+type LongSumReducer struct{ Base }
+
+// Reduce implements Reducer.
+func (*LongSumReducer) Reduce(key wio.Writable, values ValueIterator, output OutputCollector, _ Reporter) error {
+	var sum int64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		lw, ok := v.(*types.LongWritable)
+		if !ok {
+			return fmt.Errorf("mapred: LongSumReducer got %T, want *LongWritable", v)
+		}
+		sum += lw.Get()
+	}
+	return output.Collect(key, types.NewLong(sum))
+}
+
+// AssertImmutableOutput marks LongSumReducer as never mutating its output.
+func (*LongSumReducer) AssertImmutableOutput() {}
+
+// HashPartitioner is the default partitioner: hash of the key modulo the
+// partition count.
+type HashPartitioner struct{ Base }
+
+// GetPartition implements Partitioner.
+func (*HashPartitioner) GetPartition(key, _ wio.Writable, numPartitions int) int {
+	if numPartitions <= 1 {
+		return 0
+	}
+	return int(wio.HashCode(key) % uint32(numPartitions))
+}

@@ -1,0 +1,232 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/formats"
+	"m3r/internal/hmrext"
+	"m3r/internal/mapred"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// collector gathers pairs, recording whether emitted objects alias each
+// other across records.
+type collector struct {
+	pairs []wio.Pair
+}
+
+func (c *collector) Collect(k, v wio.Writable) error {
+	c.pairs = append(c.pairs, wio.Pair{Key: k, Value: v})
+	return nil
+}
+
+// fakeReporter satisfies mapred.Reporter for direct component tests.
+type fakeReporter struct {
+	counters *counters.Counters
+	split    formats.InputSplit
+}
+
+func newFakeReporter(split formats.InputSplit) *fakeReporter {
+	return &fakeReporter{counters: counters.New(), split: split}
+}
+
+func (r *fakeReporter) Progress()        {}
+func (r *fakeReporter) SetStatus(string) {}
+func (r *fakeReporter) IncrCounter(g, n string, amt int64) {
+	r.counters.Incr(g, n, amt)
+}
+func (r *fakeReporter) Counter(g, n string) *counters.Counter { return r.counters.Find(g, n) }
+func (r *fakeReporter) InputSplit() formats.InputSplit        { return r.split }
+
+func pairsOf(vals ...string) []wio.Pair {
+	out := make([]wio.Pair, len(vals))
+	for i, v := range vals {
+		out[i] = wio.Pair{Key: types.NewLong(int64(i)), Value: types.NewText(v)}
+	}
+	return out
+}
+
+func TestIdentityMapperAndReducer(t *testing.T) {
+	var out collector
+	m := &mapred.IdentityMapper{}
+	if err := m.Map(types.NewText("k"), types.NewInt(1), &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.pairs) != 1 {
+		t.Fatal("identity mapper output")
+	}
+	r := &mapred.IdentityReducer{}
+	vals := &sliceIter{vals: []wio.Writable{types.NewInt(1), types.NewInt(2)}}
+	out = collector{}
+	if err := r.Reduce(types.NewText("k"), vals, &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.pairs) != 2 {
+		t.Fatal("identity reducer output")
+	}
+}
+
+type sliceIter struct {
+	vals []wio.Writable
+	pos  int
+}
+
+func (s *sliceIter) Next() (wio.Writable, bool) {
+	if s.pos >= len(s.vals) {
+		return nil, false
+	}
+	v := s.vals[s.pos]
+	s.pos++
+	return v, true
+}
+
+func TestLongSumReducer(t *testing.T) {
+	var out collector
+	r := &mapred.LongSumReducer{}
+	vals := &sliceIter{vals: []wio.Writable{types.NewLong(5), types.NewLong(7)}}
+	if err := r.Reduce(types.NewText("k"), vals, &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out.pairs[0].Value.(*types.LongWritable).Get() != 12 {
+		t.Errorf("sum: %v", out.pairs[0].Value)
+	}
+	if !hmrext.IsImmutableOutput(r) {
+		t.Error("LongSumReducer should carry the marker")
+	}
+	// Wrong value type errors.
+	if err := r.Reduce(types.NewText("k"), &sliceIter{vals: []wio.Writable{types.NewText("x")}}, &out, newFakeReporter(nil)); err == nil {
+		t.Error("type mismatch should error")
+	}
+}
+
+func TestInverseMapper(t *testing.T) {
+	var out collector
+	if err := (&mapred.InverseMapper{}).Map(types.NewText("k"), types.NewInt(9), &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out.pairs[0].Key.(*types.IntWritable).Get() != 9 {
+		t.Error("inverse mapper")
+	}
+}
+
+func TestHashPartitionerRange(t *testing.T) {
+	p := &mapred.HashPartitioner{}
+	for i := 0; i < 100; i++ {
+		q := p.GetPartition(types.NewInt(int32(i)), nil, 7)
+		if q < 0 || q >= 7 {
+			t.Fatalf("partition %d out of range", q)
+		}
+	}
+	if p.GetPartition(types.NewInt(5), nil, 1) != 0 {
+		t.Error("single partition")
+	}
+}
+
+// TestDefaultMapRunnerReusesObjects pins the Hadoop contract that makes
+// the default runner unsafe for ImmutableOutput (§4.1): the same key and
+// value objects are passed for every record.
+func TestDefaultMapRunnerReusesObjects(t *testing.T) {
+	job := conf.NewJob()
+	reader, err := formats.NewPairReader(pairsOf("a", "b", "c"), types.LongName, types.TextName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := mapred.NewMapRunner(&mapred.IdentityMapper{})
+	runner.Configure(job)
+	var out collector
+	if err := runner.Run(reader, &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.pairs) != 3 {
+		t.Fatal("records")
+	}
+	if out.pairs[0].Key != out.pairs[1].Key || out.pairs[1].Value != out.pairs[2].Value {
+		t.Error("default runner must reuse its key/value holders")
+	}
+	if hmrext.IsImmutableOutput(runner) {
+		t.Error("default runner must not carry the marker")
+	}
+}
+
+// TestImmutableMapRunnerFreshObjects: M3R's substitute allocates per
+// record.
+func TestImmutableMapRunnerFreshObjects(t *testing.T) {
+	job := conf.NewJob()
+	reader, err := formats.NewPairReader(pairsOf("a", "b"), types.LongName, types.TextName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := mapred.NewImmutableMapRunner(&mapred.IdentityMapper{})
+	runner.Configure(job)
+	var out collector
+	if err := runner.Run(reader, &out, newFakeReporter(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out.pairs[0].Key == out.pairs[1].Key || out.pairs[0].Value == out.pairs[1].Value {
+		t.Error("immutable runner must allocate fresh holders per record")
+	}
+	if !hmrext.IsImmutableOutput(runner) {
+		t.Error("immutable runner must carry the marker")
+	}
+	if out.pairs[0].Value.(*types.Text).String() != "a" {
+		t.Error("content")
+	}
+	// Counters: input records counted.
+	rep := newFakeReporter(nil)
+	reader2, _ := formats.NewPairReader(pairsOf("x"), types.LongName, types.TextName)
+	runner2 := mapred.NewImmutableMapRunner(&mapred.IdentityMapper{})
+	runner2.Configure(job)
+	runner2.Run(reader2, &out, rep)
+	if rep.counters.Value(counters.TaskGroup, counters.MapInputRecords) != 1 {
+		t.Error("input records counter")
+	}
+}
+
+// TestMapRunnerFromConf: runners resolve their mapper from the job
+// configuration when not injected.
+func TestMapRunnerFromConf(t *testing.T) {
+	job := conf.NewJob()
+	job.SetMapperClass(mapred.InverseMapperName)
+	runner := &mapred.MapRunner{}
+	runner.Configure(job)
+	if _, ok := runner.Mapper().(*mapred.InverseMapper); !ok {
+		t.Errorf("resolved %T", runner.Mapper())
+	}
+	// Default is the identity mapper.
+	runner2 := &mapred.MapRunner{}
+	runner2.Configure(conf.NewJob())
+	if _, ok := runner2.Mapper().(*mapred.IdentityMapper); !ok {
+		t.Errorf("default resolved %T", runner2.Mapper())
+	}
+}
+
+// TestDelegatingMapperRouting: the MultipleInputs task-side mapper picks
+// the tagged class and forwards records to it.
+func TestDelegatingMapperRouting(t *testing.T) {
+	d := &mapred.DelegatingMapper{}
+	d.Configure(conf.NewJob())
+	split := &formats.TaggedInputSplit{
+		Base:       &formats.FileSplit{Path: "/f", Len: 1},
+		MapperName: mapred.InverseMapperName,
+	}
+	var out collector
+	rep := newFakeReporter(split)
+	if err := d.Map(types.NewText("k"), types.NewInt(1), &out, rep); err != nil {
+		t.Fatal(err)
+	}
+	if out.pairs[0].Key.(*types.IntWritable).Get() != 1 {
+		t.Error("not routed through InverseMapper")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Without a tagged split it fails cleanly.
+	d2 := &mapred.DelegatingMapper{}
+	d2.Configure(conf.NewJob())
+	if err := d2.Map(types.NewText("k"), types.NewInt(1), &out, newFakeReporter(nil)); err == nil {
+		t.Error("untagged split should error")
+	}
+}

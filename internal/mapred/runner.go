@@ -1,0 +1,120 @@
+package mapred
+
+import (
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/formats"
+	"m3r/internal/registry"
+)
+
+// MapRunner is Hadoop's default MapRunnable: it allocates ONE key and ONE
+// value holder and reuses them for every record. That reuse means the
+// objects a mapper passes through to the collector are mutated on the next
+// record — so this runner can never satisfy the ImmutableOutput contract,
+// even when the mapper itself does (§4.1). M3R detects this exact class by
+// its registered name and substitutes ImmutableMapRunner.
+type MapRunner struct {
+	mapper Mapper
+	job    *conf.JobConf
+}
+
+// NewMapRunner wraps an explicit mapper (engines use this; the registry
+// path resolves the mapper from the job configuration in Configure).
+func NewMapRunner(m Mapper) *MapRunner { return &MapRunner{mapper: m} }
+
+// Configure implements MapRunnable.
+func (r *MapRunner) Configure(job *conf.JobConf) {
+	r.job = job
+	if r.mapper == nil {
+		r.mapper = mapperFromConf(job)
+	}
+	r.mapper.Configure(job)
+}
+
+func mapperFromConf(job *conf.JobConf) Mapper {
+	name := job.Get(conf.KeyMapperClass)
+	if name == "" {
+		return &IdentityMapper{}
+	}
+	m, err := registry.New(registry.KindMapper, name)
+	if err != nil {
+		panic(err)
+	}
+	return m.(Mapper)
+}
+
+// Mapper exposes the wrapped mapper (engines inspect it for markers).
+func (r *MapRunner) Mapper() Mapper { return r.mapper }
+
+// Run implements MapRunnable with Hadoop's reusing loop.
+func (r *MapRunner) Run(reader formats.RecordReader, output OutputCollector, reporter Reporter) error {
+	key := reader.CreateKey()
+	value := reader.CreateValue()
+	for {
+		ok, err := reader.Next(key, value)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		reporter.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		if err := r.mapper.Map(key, value, output, reporter); err != nil {
+			return err
+		}
+	}
+	return r.mapper.Close()
+}
+
+// ImmutableMapRunner is the M3R substitute for MapRunner: it allocates a
+// fresh key and value for every record, so input objects passed through to
+// the collector are never mutated afterwards. It carries the
+// ImmutableOutput marker — combined with an ImmutableOutput mapper, M3R
+// can alias instead of clone.
+type ImmutableMapRunner struct {
+	mapper Mapper
+	job    *conf.JobConf
+}
+
+// NewImmutableMapRunner wraps an explicit mapper.
+func NewImmutableMapRunner(m Mapper) *ImmutableMapRunner { return &ImmutableMapRunner{mapper: m} }
+
+// Configure implements MapRunnable.
+func (r *ImmutableMapRunner) Configure(job *conf.JobConf) {
+	r.job = job
+	if r.mapper == nil {
+		r.mapper = mapperFromConf(job)
+	}
+	r.mapper.Configure(job)
+}
+
+// Mapper exposes the wrapped mapper.
+func (r *ImmutableMapRunner) Mapper() Mapper { return r.mapper }
+
+// AssertImmutableOutput marks the runner as mutation-free (§4.1).
+func (*ImmutableMapRunner) AssertImmutableOutput() {}
+
+// Run implements MapRunnable, allocating per-record holders.
+func (r *ImmutableMapRunner) Run(reader formats.RecordReader, output OutputCollector, reporter Reporter) error {
+	for {
+		key := reader.CreateKey()
+		value := reader.CreateValue()
+		ok, err := reader.Next(key, value)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		reporter.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		if err := r.mapper.Map(key, value, output, reporter); err != nil {
+			return err
+		}
+	}
+	return r.mapper.Close()
+}
+
+var (
+	_ MapRunnable = (*MapRunner)(nil)
+	_ MapRunnable = (*ImmutableMapRunner)(nil)
+)

@@ -1,0 +1,98 @@
+// Package mapreduce is the "new-style" context-based Hadoop MapReduce API
+// (org.apache.hadoop.mapreduce.*). It deliberately shares no interfaces
+// with package mapred — as in Hadoop, where "many classes (such as Map) do
+// not share a common type, [so] separate wrapper code must be written for
+// both of them" (paper §5.3). The wrappers live in internal/engine and
+// accept any combination of old- and new-style mapper, combiner, and
+// reducer.
+package mapreduce
+
+import (
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/formats"
+	"m3r/internal/registry"
+	"m3r/internal/wio"
+)
+
+// Context is the task-facing service surface shared by map and reduce
+// contexts.
+type Context interface {
+	// Configuration returns the job configuration.
+	Configuration() *conf.JobConf
+	// Counter returns the named counter.
+	Counter(group, name string) *counters.Counter
+	// SetStatus records a human-readable status.
+	SetStatus(status string)
+	// Progress notes liveness.
+	Progress()
+	// Write emits an output pair.
+	Write(key, value wio.Writable) error
+}
+
+// MapContext is the context passed to mappers.
+type MapContext interface {
+	Context
+	// InputSplit returns the split this task consumes.
+	InputSplit() formats.InputSplit
+}
+
+// ReduceContext is the context passed to reducers.
+type ReduceContext interface {
+	Context
+}
+
+// Values iterates the values of one reduce group.
+type Values interface {
+	// Next returns the next value, or ok=false at the end of the group.
+	Next() (value wio.Writable, ok bool)
+}
+
+// Mapper is the new-style map interface.
+type Mapper interface {
+	// Setup runs once before the first record.
+	Setup(ctx MapContext) error
+	// Map runs once per record. As in Hadoop, key and value may be reused
+	// between calls unless the mapper declares ImmutableOutput, in which
+	// case the engine provides fresh objects per record.
+	Map(key, value wio.Writable, ctx MapContext) error
+	// Cleanup runs once after the last record.
+	Cleanup(ctx MapContext) error
+}
+
+// Reducer is the new-style reduce (and combine) interface.
+type Reducer interface {
+	Setup(ctx ReduceContext) error
+	Reduce(key wio.Writable, values Values, ctx ReduceContext) error
+	Cleanup(ctx ReduceContext) error
+}
+
+// MapperBase provides no-op Setup/Cleanup for embedding.
+type MapperBase struct{}
+
+// Setup implements Mapper.
+func (MapperBase) Setup(MapContext) error { return nil }
+
+// Cleanup implements Mapper.
+func (MapperBase) Cleanup(MapContext) error { return nil }
+
+// ReducerBase provides no-op Setup/Cleanup for embedding.
+type ReducerBase struct{}
+
+// Setup implements Reducer.
+func (ReducerBase) Setup(ReduceContext) error { return nil }
+
+// Cleanup implements Reducer.
+func (ReducerBase) Cleanup(ReduceContext) error { return nil }
+
+// RegisterMapper installs a new-style mapper factory under name. Old and
+// new components share the registry namespace; the engine adapters
+// dispatch on the instantiated type.
+func RegisterMapper(name string, f func() Mapper) {
+	registry.Register(registry.KindMapper, name, func() any { return f() })
+}
+
+// RegisterReducer installs a new-style reducer factory under name.
+func RegisterReducer(name string, f func() Reducer) {
+	registry.Register(registry.KindReducer, name, func() any { return f() })
+}

@@ -1,0 +1,118 @@
+package mapreduce_test
+
+import (
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/engine"
+	"m3r/internal/mapreduce"
+	"m3r/internal/registry"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// echoMapper covers the base embedding and the context surface.
+type echoMapper struct{ mapreduce.MapperBase }
+
+func (*echoMapper) Map(key, value wio.Writable, ctx mapreduce.MapContext) error {
+	return ctx.Write(key, value)
+}
+
+// minReducer keeps the smallest value of the group.
+type minReducer struct{ mapreduce.ReducerBase }
+
+func (*minReducer) Reduce(key wio.Writable, values mapreduce.Values, ctx mapreduce.ReduceContext) error {
+	var min *types.IntWritable
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		iv := v.(*types.IntWritable)
+		if min == nil || iv.Get() < min.Get() {
+			min = types.NewInt(iv.Get())
+		}
+	}
+	return ctx.Write(key, min)
+}
+
+func init() {
+	mapreduce.RegisterMapper("test.mapreduce.Echo", func() mapreduce.Mapper { return &echoMapper{} })
+	mapreduce.RegisterReducer("test.mapreduce.Min", func() mapreduce.Reducer { return &minReducer{} })
+}
+
+func TestRegistration(t *testing.T) {
+	if !registry.Registered(registry.KindMapper, "test.mapreduce.Echo") {
+		t.Error("mapper not registered")
+	}
+	if !registry.Registered(registry.KindReducer, "test.mapreduce.Min") {
+		t.Error("reducer not registered")
+	}
+	m, err := registry.New(registry.KindMapper, "test.mapreduce.Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(mapreduce.Mapper); !ok {
+		t.Errorf("instantiated %T", m)
+	}
+}
+
+// TestContextIsTaskContext: the engine's TaskContext satisfies both of the
+// new API's context interfaces, which is what lets one context flow
+// through both API styles' adapters.
+func TestContextIsTaskContext(t *testing.T) {
+	ctx := engine.NewTaskContext(conf.NewJob(), "t", nil)
+	var _ mapreduce.MapContext = ctx
+	var _ mapreduce.ReduceContext = ctx
+	var collected []wio.Pair
+	ctx.SetEmit(func(k, v wio.Writable) error {
+		collected = append(collected, wio.Pair{Key: k, Value: v})
+		return nil
+	})
+	m := &echoMapper{}
+	if err := m.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(types.NewInt(1), types.NewText("x"), ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cleanup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != 1 {
+		t.Fatalf("collected %d", len(collected))
+	}
+}
+
+// valuesOf adapts a slice to the Values interface for direct reducer
+// tests.
+type valuesOf struct {
+	vals []wio.Writable
+	pos  int
+}
+
+func (v *valuesOf) Next() (wio.Writable, bool) {
+	if v.pos >= len(v.vals) {
+		return nil, false
+	}
+	out := v.vals[v.pos]
+	v.pos++
+	return out, true
+}
+
+func TestReducerDirect(t *testing.T) {
+	ctx := engine.NewTaskContext(conf.NewJob(), "t", nil)
+	var got *types.IntWritable
+	ctx.SetEmit(func(_, v wio.Writable) error {
+		got = v.(*types.IntWritable)
+		return nil
+	})
+	r := &minReducer{}
+	vals := &valuesOf{vals: []wio.Writable{types.NewInt(5), types.NewInt(2), types.NewInt(9)}}
+	if err := r.Reduce(types.NewText("k"), vals, ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Get() != 2 {
+		t.Errorf("min: %v", got)
+	}
+}

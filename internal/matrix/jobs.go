@@ -1,0 +1,242 @@
+package matrix
+
+import (
+	"fmt"
+
+	"m3r/internal/conf"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/wio"
+)
+
+// Registered component names.
+const (
+	GMapperName          = "examples.matrix.GMapper"
+	VMapperName          = "examples.matrix.VMapper"
+	MultiplyReducerName  = "examples.matrix.MultiplyReducer"
+	SumMapperName        = "examples.matrix.SumMapper"
+	SumReducerName       = "examples.matrix.SumReducer"
+	RowPartitionerName   = "examples.matrix.RowPartitioner"
+	IdentityBlockMapName = "examples.matrix.IdentityBlockMapper"
+)
+
+// KeyRowBlocks tells the broadcast mapper how many block-rows G has.
+const KeyRowBlocks = "matvec.row.blocks"
+
+func init() {
+	mapred.RegisterMapper(GMapperName, func() mapred.Mapper { return &GMapper{} })
+	mapred.RegisterMapper(VMapperName, func() mapred.Mapper { return &VMapper{} })
+	mapred.RegisterReducer(MultiplyReducerName, func() mapred.Reducer { return &MultiplyReducer{} })
+	mapred.RegisterMapper(SumMapperName, func() mapred.Mapper { return &SumMapper{} })
+	mapred.RegisterReducer(SumReducerName, func() mapred.Reducer { return &SumReducer{} })
+	mapred.RegisterPartitioner(RowPartitionerName, func() mapred.Partitioner { return &RowPartitioner{} })
+	mapred.RegisterMapper(IdentityBlockMapName, func() mapred.Mapper { return &IdentityBlockMapper{} })
+}
+
+// RowPartitioner sends block (i, j) to partition i % numPartitions, so
+// "a given partition will contain a number of rows of G and matching
+// blocks of V" (§6.2). Under M3R's partition stability this pins each
+// block-row to one place for the entire job sequence.
+type RowPartitioner struct{ mapred.Base }
+
+// GetPartition implements mapred.Partitioner.
+func (*RowPartitioner) GetPartition(key, _ wio.Writable, numPartitions int) int {
+	if numPartitions <= 1 {
+		return 0
+	}
+	return int(uint32(key.(*BlockKey).Row) % uint32(numPartitions))
+}
+
+// GMapper "simply passes through each G block" (§6.2), wrapped in the
+// shuffle's union value.
+type GMapper struct{ mapred.Base }
+
+// AssertImmutableOutput marks the mapper (§6.2: "all mappers and reducers
+// are marked as producing only ImmutableOutput").
+func (*GMapper) AssertImmutableOutput() {}
+
+// Map implements mapred.Mapper.
+func (*GMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	return out.Collect(key, WrapCSC(value.(*CSCBlock)))
+}
+
+// VMapper "broadcasts each V block to every index of G that needs it
+// (i.e. a whole column)" (§6.2). Emitting one wrapper object repeatedly is
+// the broadcast idiom the de-duplicating serializer optimizes (§3.2.2.3).
+type VMapper struct {
+	mapred.Base
+	rowBlocks int
+}
+
+// AssertImmutableOutput marks the mapper.
+func (*VMapper) AssertImmutableOutput() {}
+
+// Configure implements mapred.Mapper.
+func (m *VMapper) Configure(job *conf.JobConf) {
+	m.rowBlocks = job.GetInt(KeyRowBlocks, 1)
+}
+
+// Map implements mapred.Mapper.
+func (m *VMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	vKey := key.(*BlockKey)
+	bv := WrapDense(value.(*DenseBlock))
+	for i := 0; i < m.rowBlocks; i++ {
+		if err := out.Collect(NewBlockKey(int32(i), vKey.Row), bv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiplyReducer receives, for key (i,j), the matrix block G[i,j] and the
+// broadcast vector block V[j], and emits the partial product keyed by the
+// G block's index (§6.2).
+type MultiplyReducer struct{ mapred.Base }
+
+// AssertImmutableOutput marks the reducer.
+func (*MultiplyReducer) AssertImmutableOutput() {}
+
+// Reduce implements mapred.Reducer.
+func (*MultiplyReducer) Reduce(key wio.Writable, values mapred.ValueIterator, out mapred.OutputCollector, _ mapred.Reporter) error {
+	var g *CSCBlock
+	var v *DenseBlock
+	for {
+		val, ok := values.Next()
+		if !ok {
+			break
+		}
+		bv := val.(*BlockValue)
+		switch {
+		case bv.CSC != nil:
+			g = bv.CSC
+		case bv.Dense != nil:
+			v = bv.Dense
+		}
+	}
+	if g == nil || v == nil {
+		// The broadcast reaches (i,j) even when G[i,j] is all-zero and
+		// unstored; there is nothing to contribute then.
+		return nil
+	}
+	partial := NewDenseBlock(int(g.Rows))
+	g.MultiplyInto(v, partial.Vals)
+	return out.Collect(key, partial)
+}
+
+// SumMapper rewrites the partial products' keys "to have column 0" so a
+// single reduce call receives all partial sums of a block-row (§6.2).
+type SumMapper struct{ mapred.Base }
+
+// AssertImmutableOutput marks the mapper.
+func (*SumMapper) AssertImmutableOutput() {}
+
+// Map implements mapred.Mapper.
+func (*SumMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	return out.Collect(NewBlockKey(key.(*BlockKey).Row, 0), value)
+}
+
+// SumReducer sums the partial products into the new V block (§6.2).
+type SumReducer struct{ mapred.Base }
+
+// AssertImmutableOutput marks the reducer.
+func (*SumReducer) AssertImmutableOutput() {}
+
+// Reduce implements mapred.Reducer.
+func (*SumReducer) Reduce(key wio.Writable, values mapred.ValueIterator, out mapred.OutputCollector, _ mapred.Reporter) error {
+	var sum *DenseBlock
+	for {
+		val, ok := values.Next()
+		if !ok {
+			break
+		}
+		d := val.(*DenseBlock)
+		if sum == nil {
+			sum = NewDenseBlock(len(d.Vals))
+		}
+		sum.AddInto(d)
+	}
+	if sum == nil {
+		return nil
+	}
+	return out.Collect(key, sum)
+}
+
+// IdentityBlockMapper passes (BlockKey, value) pairs through unchanged with
+// fresh-object semantics; with the RowPartitioner it is the repartitioner
+// job of §6.1.1.
+type IdentityBlockMapper struct{ mapred.Base }
+
+// AssertImmutableOutput marks the mapper.
+func (*IdentityBlockMapper) AssertImmutableOutput() {}
+
+// Map implements mapred.Mapper.
+func (*IdentityBlockMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	return out.Collect(key, value)
+}
+
+// MultiplyJob builds the first job of one iteration: G and V in (via
+// MultipleInputs), partial products out (§3, Fig. 1).
+func MultiplyJob(cfg Config, gPath, vPath, outPath string) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("matvec-multiply")
+	formats.AddMultipleInput(job, gPath, formats.PartitionedSeqInputFormatName, GMapperName)
+	formats.AddMultipleInput(job, vPath, formats.PartitionedSeqInputFormatName, VMapperName)
+	job.SetMapperClass(mapred.DelegatingMapperName)
+	job.SetReducerClass(MultiplyReducerName)
+	job.SetPartitionerClass(RowPartitionerName)
+	job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+	job.SetOutputPath(outPath)
+	job.SetNumReduceTasks(cfg.Partitions)
+	job.SetMapOutputKeyClass(BlockKeyName)
+	job.SetMapOutputValueClass(BlockValueName)
+	job.SetOutputKeyClass(BlockKeyName)
+	job.SetOutputValueClass(DenseBlockName)
+	job.SetInt(KeyRowBlocks, cfg.RowBlocks)
+	return job
+}
+
+// SumJob builds the second job of one iteration: partial products in, new
+// V out (§3, Fig. 1).
+func SumJob(cfg Config, inPath, outPath string) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("matvec-sum")
+	job.SetInputFormatClass(formats.PartitionedSeqInputFormatName)
+	job.AddInputPath(inPath)
+	job.SetMapperClass(SumMapperName)
+	job.SetReducerClass(SumReducerName)
+	job.SetPartitionerClass(RowPartitionerName)
+	job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+	job.SetOutputPath(outPath)
+	job.SetNumReduceTasks(cfg.Partitions)
+	job.SetMapOutputKeyClass(BlockKeyName)
+	job.SetMapOutputValueClass(DenseBlockName)
+	job.SetOutputKeyClass(BlockKeyName)
+	job.SetOutputValueClass(DenseBlockName)
+	return job
+}
+
+// RepartitionJob rebuilds a blocked SequenceFile dataset with the row
+// partitioner so that on-disk partitioning matches the engine's partition
+// assignment — the one-off job of §6.1.1.
+func RepartitionJob(inPath, outPath string, partitions int, valueClass string) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("repartition")
+	job.SetInputFormatClass(formats.SequenceFileInputFormatName)
+	job.AddInputPath(inPath)
+	job.SetMapperClass(IdentityBlockMapName)
+	job.SetReducerClass(mapred.IdentityReducerName)
+	job.SetPartitionerClass(RowPartitionerName)
+	job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+	job.SetOutputPath(outPath)
+	job.SetNumReduceTasks(partitions)
+	job.SetMapOutputKeyClass(BlockKeyName)
+	job.SetMapOutputValueClass(valueClass)
+	job.SetOutputKeyClass(BlockKeyName)
+	job.SetOutputValueClass(valueClass)
+	return job
+}
+
+// partFile names partition q's file under dir.
+func partFile(dir string, q int) string {
+	return fmt.Sprintf("%s/part-%05d", dir, q)
+}

@@ -1,0 +1,174 @@
+package matrix_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m3r/internal/matrix"
+	"m3r/internal/wio"
+)
+
+func TestBlockKeyRoundTripAndOrder(t *testing.T) {
+	if err := quick.Check(func(r1, c1, r2, c2 int32) bool {
+		k1 := matrix.NewBlockKey(r1, c1)
+		b, err := wio.Marshal(k1)
+		if err != nil {
+			return false
+		}
+		out := &matrix.BlockKey{}
+		if err := wio.Unmarshal(b, out); err != nil {
+			return false
+		}
+		if out.Row != r1 || out.Col != c1 {
+			return false
+		}
+		// Order agreement: row-major.
+		k2 := matrix.NewBlockKey(r2, c2)
+		cmp := k1.CompareTo(k2)
+		want := 0
+		switch {
+		case r1 < r2 || (r1 == r2 && c1 < c2):
+			want = -1
+		case r1 > r2 || (r1 == r2 && c1 > c2):
+			want = 1
+		}
+		return cmp == want
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSCRoundTrip(t *testing.T) {
+	b := matrix.RandomCSC(50, 40, 0.1, 7)
+	if b.NNZ() == 0 {
+		t.Fatal("generator produced an empty block")
+	}
+	data, err := wio.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &matrix.CSCBlock{}
+	if err := wio.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 50 || out.Cols != 40 || out.NNZ() != b.NNZ() {
+		t.Fatalf("shape lost: %v", out)
+	}
+	for i := range b.Vals {
+		if out.Vals[i] != b.Vals[i] || out.RowIdx[i] != b.RowIdx[i] {
+			t.Fatalf("entry %d lost", i)
+		}
+	}
+}
+
+func TestDenseRoundTripAndAdd(t *testing.T) {
+	d := matrix.RandomDense(20, 3)
+	data, _ := wio.Marshal(d)
+	out := &matrix.DenseBlock{}
+	if err := wio.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Vals {
+		if out.Vals[i] != d.Vals[i] {
+			t.Fatal("dense round trip lost data")
+		}
+	}
+	sum := matrix.NewDenseBlock(20)
+	sum.AddInto(d)
+	sum.AddInto(d)
+	for i := range d.Vals {
+		if math.Abs(sum.Vals[i]-2*d.Vals[i]) > 1e-12 {
+			t.Fatal("AddInto wrong")
+		}
+	}
+}
+
+func TestBlockValueUnion(t *testing.T) {
+	csc := matrix.RandomCSC(10, 10, 0.2, 1)
+	bv := matrix.WrapCSC(csc)
+	data, _ := wio.Marshal(bv)
+	out := &matrix.BlockValue{}
+	if err := wio.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CSC == nil || out.Dense != nil {
+		t.Fatal("CSC arm lost")
+	}
+	d := matrix.RandomDense(10, 2)
+	data, _ = wio.Marshal(matrix.WrapDense(d))
+	if err := wio.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense == nil || out.CSC != nil {
+		t.Fatal("Dense arm lost")
+	}
+	data, _ = wio.Marshal(&matrix.BlockValue{})
+	if err := wio.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Dense != nil || out.CSC != nil {
+		t.Fatal("empty arm lost")
+	}
+}
+
+// TestCSCMultiplyAgainstDense: block multiply equals the dense reference.
+func TestCSCMultiplyAgainstDense(t *testing.T) {
+	const n = 30
+	b := matrix.RandomCSC(n, n, 0.15, 99)
+	x := matrix.RandomDense(n, 5)
+
+	// Dense expansion.
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for j := int32(0); j < b.Cols; j++ {
+		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
+			dense[b.RowIdx[p]][j] = b.Vals[p]
+		}
+	}
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += dense[i][j] * x.Vals[j]
+		}
+	}
+	got := make([]float64, n)
+	b.MultiplyInto(x, got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("row %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := matrix.RandomCSC(20, 20, 0.1, 42)
+	b := matrix.RandomCSC(20, 20, 0.1, 42)
+	da, _ := wio.Marshal(a)
+	db, _ := wio.Marshal(b)
+	if string(da) != string(db) {
+		t.Error("same seed must generate identical blocks")
+	}
+	c := matrix.RandomCSC(20, 20, 0.1, 43)
+	dc, _ := wio.Marshal(c)
+	if string(da) == string(dc) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRowPartitioner(t *testing.T) {
+	p := &matrix.RowPartitioner{}
+	for row := int32(0); row < 20; row++ {
+		for col := int32(0); col < 3; col++ {
+			got := p.GetPartition(matrix.NewBlockKey(row, col), nil, 4)
+			if got != int(row%4) {
+				t.Fatalf("block (%d,%d) -> %d, want %d", row, col, got, row%4)
+			}
+		}
+	}
+	if p.GetPartition(matrix.NewBlockKey(5, 0), nil, 1) != 0 {
+		t.Error("single partition")
+	}
+}

@@ -1,0 +1,260 @@
+// Package microbench is the paper's §6.1 shuffle microbenchmark: a
+// parameterized job whose mapper keeps each pair local or sends it to the
+// adjacent machine with a configurable probability, run as a 3-iteration
+// pipeline (each job's output is the next job's input). On Hadoop every
+// configuration costs the same; on M3R the running time is linear in the
+// remote fraction, with iterations 2–3 cheaper thanks to the cache —
+// Fig. 6's two panels.
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/engine"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// Registered component names.
+const (
+	ShuffleMapperName   = "examples.micro.ShuffleMapper"
+	IdentityReducerName = "examples.micro.ImmutableIdentityReducer"
+	ModPartitionerName  = "examples.micro.ModPartitioner"
+	PassMapperName      = "examples.micro.PassMapper"
+)
+
+// Configuration keys.
+const (
+	// KeyRemotePercent is the percentage (0–100) of pairs shuffled to the
+	// adjacent machine.
+	KeyRemotePercent = "microbench.remote.percent"
+	// KeySeed seeds the mapper's local/remote coin.
+	KeySeed = "microbench.seed"
+)
+
+func init() {
+	mapred.RegisterMapper(ShuffleMapperName, func() mapred.Mapper { return &ShuffleMapper{} })
+	mapred.RegisterReducer(IdentityReducerName, func() mapred.Reducer { return &IdentityReducer{} })
+	mapred.RegisterPartitioner(ModPartitionerName, func() mapred.Partitioner { return &ModPartitioner{} })
+	mapred.RegisterMapper(PassMapperName, func() mapred.Mapper { return &PassMapper{} })
+}
+
+// ModPartitioner "simply mods the integer key" (§6.1).
+type ModPartitioner struct{ mapred.Base }
+
+// GetPartition implements mapred.Partitioner.
+func (*ModPartitioner) GetPartition(key, _ wio.Writable, numPartitions int) int {
+	if numPartitions <= 1 {
+		return 0
+	}
+	return int(uint32(key.(*types.IntWritable).Get()) % uint32(numPartitions))
+}
+
+// ShuffleMapper implements the §6.1 mapper: it "randomly decides to emit
+// the pair with either its key unchanged or replaced with a key (created
+// during the mapper's setup phase) that partitions to a remote host". It
+// carries the ImmutableOutput marker, as in the paper.
+type ShuffleMapper struct {
+	mapred.Base
+	percent    int
+	partitions int
+	rng        *rand.Rand
+	remoteKey  *types.IntWritable
+}
+
+// AssertImmutableOutput marks the mapper (§6.1).
+func (*ShuffleMapper) AssertImmutableOutput() {}
+
+// Configure implements mapred.Mapper.
+func (m *ShuffleMapper) Configure(job *conf.JobConf) {
+	m.percent = job.GetInt(KeyRemotePercent, 0)
+	m.partitions = job.NumReduceTasks()
+	m.rng = rand.New(rand.NewSource(job.GetInt64(KeySeed, 1)))
+}
+
+// Map implements mapred.Mapper.
+func (m *ShuffleMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	k := key.(*types.IntWritable)
+	if m.remoteKey == nil {
+		// "Created during the mapper's setup phase": derived from the
+		// mapper's own partition (the first key's), targeting the
+		// adjacent one.
+		own := int(uint32(k.Get()) % uint32(m.partitions))
+		adjacent := (own + 1) % m.partitions
+		m.remoteKey = types.NewInt(int32(adjacent))
+	}
+	if m.rng.Intn(100) < m.percent {
+		return out.Collect(m.remoteKey, value)
+	}
+	return out.Collect(key, value)
+}
+
+// IdentityReducer passes all values through under the group key. Unlike
+// the stock library identity reducer it is marked ImmutableOutput, so the
+// benchmark isolates shuffle cost rather than cache-cloning cost.
+type IdentityReducer struct{ mapred.Base }
+
+// AssertImmutableOutput marks the reducer.
+func (*IdentityReducer) AssertImmutableOutput() {}
+
+// Reduce implements mapred.Reducer.
+func (*IdentityReducer) Reduce(key wio.Writable, values mapred.ValueIterator, out mapred.OutputCollector, _ mapred.Reporter) error {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return nil
+		}
+		if err := out.Collect(key, v); err != nil {
+			return err
+		}
+	}
+}
+
+// PassMapper is a marked identity mapper (the repartitioner's map side).
+type PassMapper struct{ mapred.Base }
+
+// AssertImmutableOutput marks the mapper.
+func (*PassMapper) AssertImmutableOutput() {}
+
+// Map implements mapred.Mapper.
+func (*PassMapper) Map(key, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	return out.Collect(key, value)
+}
+
+// Config parameterizes the benchmark. The paper used 1M pairs of 10KB
+// values on 20 nodes; defaults here are scaled down with the rest of the
+// simulation.
+type Config struct {
+	Pairs      int
+	ValueBytes int
+	// Percent of pairs shuffled remotely (0–100).
+	Percent    int
+	Iterations int
+	Partitions int
+	Dir        string
+	Seed       int64
+}
+
+// InputDir returns the generated dataset path.
+func (c Config) InputDir() string { return c.Dir + "/input" }
+
+// Generate writes the input: ascending integer keys with ValueBytes-sized
+// values, pre-partitioned into part files matching the mod partitioner
+// (the state §6.1.1's repartitioner establishes).
+func Generate(fs dfs.FileSystem, c Config) error {
+	rng := rand.New(rand.NewSource(c.Seed))
+	files := make([][]wio.Pair, c.Partitions)
+	for i := 0; i < c.Pairs; i++ {
+		val := make([]byte, c.ValueBytes)
+		rng.Read(val)
+		q := i % c.Partitions
+		files[q] = append(files[q], wio.Pair{Key: types.NewInt(int32(i)), Value: types.NewBytes(val)})
+	}
+	for q := 0; q < c.Partitions; q++ {
+		path := fmt.Sprintf("%s/part-%05d", c.InputDir(), q)
+		if err := formats.WriteSeqFile(fs, path, types.IntName, types.BytesName, files[q]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateUnaligned writes the same data but round-robined across files
+// the way a foreign (Hadoop-written) dataset would be laid out, for the
+// §6.1.1 repartitioning experiment.
+func GenerateUnaligned(fs dfs.FileSystem, c Config, dir string) error {
+	rng := rand.New(rand.NewSource(c.Seed))
+	files := make([][]wio.Pair, c.Partitions)
+	for i := 0; i < c.Pairs; i++ {
+		val := make([]byte, c.ValueBytes)
+		rng.Read(val)
+		// Deliberately NOT the partitioner's assignment.
+		q := (i / 7) % c.Partitions
+		files[q] = append(files[q], wio.Pair{Key: types.NewInt(int32(i)), Value: types.NewBytes(val)})
+	}
+	for q := 0; q < c.Partitions; q++ {
+		path := fmt.Sprintf("%s/part-%05d", dir, q)
+		if err := formats.WriteSeqFile(fs, path, types.IntName, types.BytesName, files[q]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IterationJob builds iteration it: read from in, write to out.
+func (c Config) IterationJob(it int, in, out string) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName(fmt.Sprintf("microbench-iter%d", it))
+	job.SetInputFormatClass(formats.PartitionedSeqInputFormatName)
+	job.AddInputPath(in)
+	job.SetMapperClass(ShuffleMapperName)
+	job.SetReducerClass(IdentityReducerName)
+	job.SetPartitionerClass(ModPartitionerName)
+	job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+	job.SetOutputPath(out)
+	job.SetNumReduceTasks(c.Partitions)
+	job.SetMapOutputKeyClass(types.IntName)
+	job.SetMapOutputValueClass(types.BytesName)
+	job.SetOutputKeyClass(types.IntName)
+	job.SetOutputValueClass(types.BytesName)
+	job.SetInt(KeyRemotePercent, c.Percent)
+	job.SetInt64(KeySeed, c.Seed+int64(it))
+	return job
+}
+
+// Run executes the pipeline: Iterations jobs, the output of each the
+// input of the next. "In M3R, the output of all jobs except the final
+// iteration are marked as temporary... We explicitly delete the previous
+// iteration's input" (§6.1). Returns one report per iteration.
+func Run(eng engine.Engine, c Config) ([]*engine.Report, error) {
+	fs, err := dfs.Instance(eng.FileSystem())
+	if err != nil {
+		return nil, err
+	}
+	in := c.InputDir()
+	var reports []*engine.Report
+	for it := 0; it < c.Iterations; it++ {
+		out := fmt.Sprintf("%s/temp_iter_%d", c.Dir, it+1)
+		if it == c.Iterations-1 {
+			out = fmt.Sprintf("%s/final", c.Dir)
+		}
+		rep, err := eng.Submit(c.IterationJob(it, in, out))
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+		if in != c.InputDir() {
+			if err := fs.Delete(in, true); err != nil {
+				return reports, err
+			}
+		}
+		in = out
+	}
+	return reports, nil
+}
+
+// RepartitionJob is the §6.1.1 one-off job: identity map/reduce under the
+// benchmark's own partitioner, rewriting the dataset so on-disk partitions
+// match the engine's partition-to-host assignment.
+func (c Config) RepartitionJob(in, out string) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("microbench-repartition")
+	job.SetInputFormatClass(formats.SequenceFileInputFormatName)
+	job.AddInputPath(in)
+	job.SetMapperClass(PassMapperName)
+	job.SetReducerClass(IdentityReducerName)
+	job.SetPartitionerClass(ModPartitionerName)
+	job.SetOutputFormatClass(formats.SequenceFileOutputFormatName)
+	job.SetOutputPath(out)
+	job.SetNumReduceTasks(c.Partitions)
+	job.SetMapOutputKeyClass(types.IntName)
+	job.SetMapOutputValueClass(types.BytesName)
+	job.SetOutputKeyClass(types.IntName)
+	job.SetOutputValueClass(types.BytesName)
+	return job
+}

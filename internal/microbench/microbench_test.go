@@ -1,0 +1,109 @@
+package microbench_test
+
+import (
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/formats"
+	"m3r/internal/hmrext"
+	"m3r/internal/microbench"
+	"m3r/internal/registry"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+type sink struct{ pairs []wio.Pair }
+
+func (s *sink) Collect(k, v wio.Writable) error {
+	s.pairs = append(s.pairs, wio.Pair{Key: k, Value: v})
+	return nil
+}
+
+type noopReporter struct{ c *counters.Counters }
+
+func (r noopReporter) Progress()                             {}
+func (r noopReporter) SetStatus(string)                      {}
+func (r noopReporter) IncrCounter(g, n string, a int64)      { r.c.Incr(g, n, a) }
+func (r noopReporter) Counter(g, n string) *counters.Counter { return r.c.Find(g, n) }
+func (r noopReporter) InputSplit() formats.InputSplit        { return nil }
+
+func TestModPartitioner(t *testing.T) {
+	p := &microbench.ModPartitioner{}
+	for i := int32(0); i < 20; i++ {
+		if got := p.GetPartition(types.NewInt(i), nil, 4); got != int(i%4) {
+			t.Fatalf("key %d -> %d", i, got)
+		}
+	}
+	if p.GetPartition(types.NewInt(5), nil, 1) != 0 {
+		t.Error("single partition")
+	}
+}
+
+func TestShuffleMapperRatioExtremes(t *testing.T) {
+	if !registry.Registered(registry.KindMapper, microbench.ShuffleMapperName) {
+		t.Fatal("ShuffleMapper not registered")
+	}
+	for _, percent := range []int{0, 100} {
+		sm := &microbench.ShuffleMapper{}
+		job := conf.NewJob()
+		job.SetNumReduceTasks(4)
+		job.SetInt(microbench.KeyRemotePercent, percent)
+		job.SetInt64(microbench.KeySeed, 1)
+		sm.Configure(job)
+		out := &sink{}
+		rep := noopReporter{c: counters.New()}
+		// Keys in partition 0: 0, 4, 8, ...
+		for i := 0; i < 40; i += 4 {
+			if err := sm.Map(types.NewInt(int32(i)), types.NewText("v"), out, rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p := &microbench.ModPartitioner{}
+		for _, pr := range out.pairs {
+			q := p.GetPartition(pr.Key, nil, 4)
+			if percent == 0 && q != 0 {
+				t.Fatalf("0%%: pair left partition 0 (got %d)", q)
+			}
+			if percent == 100 && q != 1 {
+				t.Fatalf("100%%: pair should go to adjacent partition 1, got %d", q)
+			}
+		}
+	}
+}
+
+func TestShuffleMapperIsMarkedImmutable(t *testing.T) {
+	if !hmrext.IsImmutableOutput(&microbench.ShuffleMapper{}) {
+		t.Error("ShuffleMapper must carry the ImmutableOutput marker (§6.1)")
+	}
+	if !hmrext.IsImmutableOutput(&microbench.IdentityReducer{}) {
+		t.Error("benchmark reducer must carry the marker")
+	}
+	if !hmrext.IsImmutableOutput(&microbench.PassMapper{}) {
+		t.Error("PassMapper must carry the marker")
+	}
+}
+
+func TestIterationJobConf(t *testing.T) {
+	cfg := microbench.Config{
+		Pairs: 10, ValueBytes: 8, Percent: 30, Iterations: 3,
+		Partitions: 4, Dir: "/mb", Seed: 9,
+	}
+	job := cfg.IterationJob(1, "/mb/in", "/mb/temp_x")
+	if job.NumReduceTasks() != 4 {
+		t.Error("reducers")
+	}
+	if job.GetInt(microbench.KeyRemotePercent, -1) != 30 {
+		t.Error("percent")
+	}
+	if job.Get(conf.KeyPartitionerClass) != microbench.ModPartitionerName {
+		t.Error("partitioner")
+	}
+	if !job.IsTemporaryOutput(job.OutputPath()) {
+		t.Error("temp_x output should be temporary by naming convention")
+	}
+	rj := cfg.RepartitionJob("/a", "/b")
+	if rj.Get(conf.KeyMapperClass) != microbench.PassMapperName {
+		t.Error("repartition mapper")
+	}
+}

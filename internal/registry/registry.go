@@ -1,0 +1,62 @@
+// Package registry resolves component names from job configurations into
+// fresh instances — the stand-in for Java class loading in Hadoop. A job
+// submission carries only strings (mapper class, input format class, …);
+// any process holding the registry entries, including an M3R server on the
+// other end of a TCP connection, can instantiate and run the job.
+package registry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Component kinds.
+const (
+	KindMapper       = "mapper"
+	KindReducer      = "reducer"
+	KindPartitioner  = "partitioner"
+	KindMapRunner    = "maprunner"
+	KindInputFormat  = "inputformat"
+	KindOutputFormat = "outputformat"
+	KindComparator   = "comparator"
+)
+
+var reg = struct {
+	sync.RWMutex
+	m map[string]map[string]func() any
+}{m: make(map[string]map[string]func() any)}
+
+// Register installs a factory for kind/name. Duplicate registrations panic,
+// mirroring a classpath conflict; registration happens from init functions.
+func Register(kind, name string, factory func() any) {
+	reg.Lock()
+	defer reg.Unlock()
+	byName, ok := reg.m[kind]
+	if !ok {
+		byName = make(map[string]func() any)
+		reg.m[kind] = byName
+	}
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("registry: duplicate %s %q", kind, name))
+	}
+	byName[name] = factory
+}
+
+// New instantiates kind/name.
+func New(kind, name string) (any, error) {
+	reg.RLock()
+	factory, ok := reg.m[kind][name]
+	reg.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown %s %q", kind, name)
+	}
+	return factory(), nil
+}
+
+// Registered reports whether kind/name is known.
+func Registered(kind, name string) bool {
+	reg.RLock()
+	defer reg.RUnlock()
+	_, ok := reg.m[kind][name]
+	return ok
+}

@@ -1,0 +1,48 @@
+package registry_test
+
+import (
+	"testing"
+
+	"m3r/internal/registry"
+)
+
+type widget struct{ n int }
+
+func TestRegisterAndNew(t *testing.T) {
+	registry.Register("testkind", "widget.A", func() any { return &widget{n: 1} })
+	v, err := registry.New("testkind", "widget.A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := v.(*widget)
+	if !ok || w.n != 1 {
+		t.Fatalf("got %#v", v)
+	}
+	// Fresh instance each call.
+	v2, _ := registry.New("testkind", "widget.A")
+	if v2 == v {
+		t.Error("New must return fresh instances")
+	}
+	if !registry.Registered("testkind", "widget.A") {
+		t.Error("Registered")
+	}
+	if registry.Registered("testkind", "widget.B") {
+		t.Error("unknown name")
+	}
+	if _, err := registry.New("testkind", "widget.B"); err == nil {
+		t.Error("unknown name should error")
+	}
+	if _, err := registry.New("nokind", "x"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	registry.Register("testkind", "widget.Dup", func() any { return &widget{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	registry.Register("testkind", "widget.Dup", func() any { return &widget{} })
+}

@@ -1,0 +1,260 @@
+// Package server implements M3R's "server mode" (§5.3): an engine wrapped
+// behind a jobtracker-like wire protocol on localhost TCP. Clients submit
+// serialized job configurations; the server resolves component names
+// through the shared registry (Hadoop's class loading) and runs the jobs
+// on whatever engine it wraps — so "it is possible to simply replace the
+// Hadoop server daemon with the M3R one" holds here too: the same client
+// works against a server wrapping either engine.
+//
+// The wire protocol is one request per connection, wio-framed:
+//
+//	request:  op byte, then op-specific payload
+//	response: status byte (0 ok / 1 error), then payload or error string
+//
+// Ops: submit-sync (run job, return report), submit-async (return job id),
+// poll (job id → state [+ report]), fs-id (the engine's dfs instance id).
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/engine"
+	"m3r/internal/wio"
+)
+
+// Protocol ops.
+const (
+	opSubmitSync  = 1
+	opSubmitAsync = 2
+	opPoll        = 3
+	opFSID        = 4
+	opListJobs    = 5
+)
+
+// Job states reported by poll.
+const (
+	StateUnknown   = "unknown"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+)
+
+// Server wraps an engine behind the TCP protocol.
+type Server struct {
+	eng engine.Engine
+	ln  net.Listener
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*jobState
+	wg   sync.WaitGroup
+}
+
+type jobState struct {
+	id     string
+	queue  string
+	state  string
+	report *engine.Report
+	errMsg string
+}
+
+// Serve starts a server for eng on addr (e.g. "127.0.0.1:0").
+func Serve(eng engine.Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{eng: eng, ln: ln, jobs: make(map[string]*jobState)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections (running jobs finish server-side).
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := wio.NewReader(conn)
+	w := wio.NewWriter(conn)
+	op, err := r.ReadByte()
+	if err != nil {
+		return
+	}
+	switch op {
+	case opSubmitSync:
+		job, err := readJob(r)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		rep, err := s.eng.Submit(job)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteByte(0)
+		writeReport(w, rep)
+	case opSubmitAsync:
+		job, err := readJob(r)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		id := s.startAsync(job)
+		w.WriteByte(0)
+		w.WriteString(id)
+	case opPoll:
+		id, err := r.ReadString()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.mu.Lock()
+		st := s.jobs[id]
+		var state, errMsg string
+		var report *engine.Report
+		if st != nil {
+			state, errMsg, report = st.state, st.errMsg, st.report
+		}
+		s.mu.Unlock()
+		w.WriteByte(0)
+		if st == nil {
+			w.WriteString(StateUnknown)
+			return
+		}
+		w.WriteString(state)
+		switch state {
+		case StateFailed:
+			w.WriteString(errMsg)
+		case StateSucceeded:
+			writeReport(w, report)
+		}
+	case opFSID:
+		w.WriteByte(0)
+		w.WriteString(s.eng.FileSystem())
+	case opListJobs:
+		// The job-queue administrative view (§5.3): every tracked job
+		// with its queue and state, in submission order.
+		type row struct{ id, queue, state string }
+		s.mu.Lock()
+		jobs := make([]row, 0, len(s.jobs))
+		for i := 1; i <= s.seq; i++ {
+			if st := s.jobs[fmt.Sprintf("remote_job_%04d", i)]; st != nil {
+				jobs = append(jobs, row{st.id, st.queue, st.state})
+			}
+		}
+		s.mu.Unlock()
+		w.WriteByte(0)
+		w.WriteUvarint(uint64(len(jobs)))
+		for _, st := range jobs {
+			w.WriteString(st.id)
+			w.WriteString(st.queue)
+			w.WriteString(st.state)
+		}
+	default:
+		writeErr(w, fmt.Errorf("server: unknown op %d", op))
+	}
+}
+
+func (s *Server) startAsync(job *conf.JobConf) string {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("remote_job_%04d", s.seq)
+	st := &jobState{
+		id:    id,
+		queue: job.GetDefault(conf.KeyJobQueueName, "default"),
+		state: StateRunning,
+	}
+	s.jobs[id] = st
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		rep, err := s.eng.Submit(job)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			st.state = StateFailed
+			st.errMsg = err.Error()
+			return
+		}
+		st.state = StateSucceeded
+		st.report = rep
+	}()
+	return id
+}
+
+func readJob(r *wio.Reader) (*conf.JobConf, error) {
+	c := conf.New()
+	if err := c.ReadFields(r); err != nil {
+		return nil, fmt.Errorf("server: reading job configuration: %w", err)
+	}
+	return conf.WrapJob(c), nil
+}
+
+func writeErr(w *wio.Writer, err error) {
+	w.WriteByte(1)
+	w.WriteString(err.Error())
+}
+
+func writeReport(w *wio.Writer, rep *engine.Report) {
+	w.WriteString(rep.JobID)
+	w.WriteString(rep.JobName)
+	w.WriteString(rep.Engine)
+	w.WriteString(rep.Queue)
+	w.WriteInt64(int64(rep.Wall))
+	rep.Counters.WriteTo(w)
+}
+
+func readReport(r *wio.Reader) (*engine.Report, error) {
+	rep := &engine.Report{Counters: counters.New()}
+	var err error
+	if rep.JobID, err = r.ReadString(); err != nil {
+		return nil, err
+	}
+	if rep.JobName, err = r.ReadString(); err != nil {
+		return nil, err
+	}
+	if rep.Engine, err = r.ReadString(); err != nil {
+		return nil, err
+	}
+	if rep.Queue, err = r.ReadString(); err != nil {
+		return nil, err
+	}
+	wall, err := r.ReadInt64()
+	if err != nil {
+		return nil, err
+	}
+	rep.Wall = durationOf(wall)
+	if err := rep.Counters.ReadFields(r); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

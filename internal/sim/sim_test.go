@@ -1,0 +1,90 @@
+package sim_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"m3r/internal/sim"
+)
+
+func TestStatsConcurrent(t *testing.T) {
+	s := sim.NewStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Add("x", 1)
+				s.Add("y", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Get("x") != 8000 || s.Get("y") != 16000 {
+		t.Errorf("x=%d y=%d", s.Get("x"), s.Get("y"))
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "x" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *sim.Stats
+	s.Add("x", 1) // must not panic
+	if s.Get("x") != 0 {
+		t.Error("nil stats get")
+	}
+	if s.Snapshot() != nil {
+		t.Error("nil snapshot")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := map[string]int64{"a": 1, "b": 5}
+	after := map[string]int64{"a": 4, "b": 5, "c": 2}
+	d := sim.Delta(before, after)
+	if d["a"] != 3 || d["b"] != 0 || d["c"] != 2 {
+		t.Errorf("delta: %v", d)
+	}
+}
+
+func TestCostModelSleepDisabled(t *testing.T) {
+	s := sim.NewStats()
+	c := &sim.CostModel{JVMStartup: time.Hour, Sleep: false}
+	start := time.Now()
+	c.ChargeJVMStart(s)
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep=false must not sleep")
+	}
+	if s.Get(sim.JVMStartNs) != int64(time.Hour) {
+		t.Error("charge must still be accounted")
+	}
+}
+
+func TestCostModelSleepEnabled(t *testing.T) {
+	s := sim.NewStats()
+	c := &sim.CostModel{Heartbeat: 3 * time.Millisecond, Sleep: true}
+	start := time.Now()
+	c.ChargeHeartbeat(s)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("expected a real sleep, took %v", elapsed)
+	}
+}
+
+func TestZeroAndDefaultModels(t *testing.T) {
+	z := sim.Zero()
+	s := sim.NewStats()
+	z.ChargeJVMStart(s)
+	z.ChargeNet(s, 1<<20)
+	z.ChargeDisk(s, 1<<20)
+	if s.Get(sim.ModeledDelayNs) != 0 {
+		t.Error("zero model must charge nothing")
+	}
+	d := sim.Default()
+	if d.JVMStartup == 0 || d.Heartbeat == 0 || !d.Sleep {
+		t.Error("default model should model the cluster costs")
+	}
+}

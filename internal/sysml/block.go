@@ -1,0 +1,251 @@
+// Package sysml is a miniature stand-in for the SystemML runtime of paper
+// §6.4: a blocked matrix algebra whose operations "compile" to Hadoop
+// MapReduce job sequences. Like the code the real SystemML compiler
+// emitted, these jobs are deliberately NOT tuned for M3R: no
+// ImmutableOutput markers (so M3R clones defensively), the default hash
+// partitioner (no partition stability), and a uniformly dense block
+// representation (the paper notes SystemML's blocks were ~10x less
+// space-efficient than the hand-written CSC code). What the GNMF / linear
+// regression / PageRank experiments measure is exactly this
+// compiler-generated style of MR code on both engines.
+package sysml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"m3r/internal/wio"
+)
+
+// Registered writable names.
+const (
+	BlockName       = "sysml.runtime.matrix.MatrixBlock"
+	TaggedBlockName = "sysml.runtime.matrix.TaggedMatrixBlock"
+)
+
+func init() {
+	wio.Register(BlockName, func() wio.Writable { return new(Block) })
+	wio.Register(TaggedBlockName, func() wio.Writable { return new(TaggedBlock) })
+}
+
+// Block is a dense row-major matrix block.
+type Block struct {
+	R, C int32
+	V    []float64
+}
+
+// NewBlock returns a zeroed r×c block.
+func NewBlock(r, c int32) *Block {
+	return &Block{R: r, C: c, V: make([]float64, int(r)*int(c))}
+}
+
+// At returns element (i, j).
+func (b *Block) At(i, j int32) float64 { return b.V[int(i)*int(b.C)+int(j)] }
+
+// Set assigns element (i, j).
+func (b *Block) Set(i, j int32, v float64) { b.V[int(i)*int(b.C)+int(j)] = v }
+
+// WriteTo implements wio.Writable.
+func (b *Block) WriteTo(w *wio.Writer) error {
+	if err := w.WriteInt32(b.R); err != nil {
+		return err
+	}
+	if err := w.WriteInt32(b.C); err != nil {
+		return err
+	}
+	for _, v := range b.V {
+		if err := w.WriteFloat64(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFields implements wio.Writable.
+func (b *Block) ReadFields(r *wio.Reader) error {
+	var err error
+	if b.R, err = r.ReadInt32(); err != nil {
+		return err
+	}
+	if b.C, err = r.ReadInt32(); err != nil {
+		return err
+	}
+	n := int(b.R) * int(b.C)
+	if cap(b.V) < n {
+		b.V = make([]float64, n)
+	}
+	b.V = b.V[:n]
+	for i := range b.V {
+		if b.V[i], err = r.ReadFloat64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (b *Block) String() string { return fmt.Sprintf("block[%dx%d]", b.R, b.C) }
+
+// Clone returns a deep copy.
+func (b *Block) Clone() *Block {
+	out := NewBlock(b.R, b.C)
+	copy(out.V, b.V)
+	return out
+}
+
+// Mul returns a × o (R×C · o.R×o.C with C == o.R).
+func (b *Block) Mul(o *Block) *Block {
+	if b.C != o.R {
+		panic(fmt.Sprintf("sysml: dimension mismatch %v × %v", b, o))
+	}
+	out := NewBlock(b.R, o.C)
+	for i := int32(0); i < b.R; i++ {
+		for k := int32(0); k < b.C; k++ {
+			a := b.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := int32(0); j < o.C; j++ {
+				out.V[int(i)*int(o.C)+int(j)] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// TMul returns bᵀ × o (b is m×r, o is m×c, result r×c).
+func (b *Block) TMul(o *Block) *Block {
+	if b.R != o.R {
+		panic(fmt.Sprintf("sysml: dimension mismatch %vᵀ × %v", b, o))
+	}
+	out := NewBlock(b.C, o.C)
+	for k := int32(0); k < b.R; k++ {
+		for i := int32(0); i < b.C; i++ {
+			a := b.At(k, i)
+			if a == 0 {
+				continue
+			}
+			for j := int32(0); j < o.C; j++ {
+				out.V[int(i)*int(o.C)+int(j)] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulT returns b × oᵀ (b is r×m, o is c×m, result r×c).
+func (b *Block) MulT(o *Block) *Block {
+	if b.C != o.C {
+		panic(fmt.Sprintf("sysml: dimension mismatch %v × %vᵀ", b, o))
+	}
+	out := NewBlock(b.R, o.R)
+	for i := int32(0); i < b.R; i++ {
+		for j := int32(0); j < o.R; j++ {
+			var sum float64
+			for k := int32(0); k < b.C; k++ {
+				sum += b.At(i, k) * o.At(j, k)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// AddInPlace accumulates o into b.
+func (b *Block) AddInPlace(o *Block) {
+	for i, v := range o.V {
+		b.V[i] += v
+	}
+}
+
+// Hadamard returns the elementwise product.
+func (b *Block) Hadamard(o *Block) *Block {
+	out := NewBlock(b.R, b.C)
+	for i := range b.V {
+		out.V[i] = b.V[i] * o.V[i]
+	}
+	return out
+}
+
+// DivEps returns the elementwise quotient with GNMF's small-denominator
+// guard.
+func (b *Block) DivEps(o *Block) *Block {
+	out := NewBlock(b.R, b.C)
+	for i := range b.V {
+		out.V[i] = b.V[i] / (o.V[i] + 1e-9)
+	}
+	return out
+}
+
+// Axpy returns b + alpha·o.
+func (b *Block) Axpy(alpha float64, o *Block) *Block {
+	out := NewBlock(b.R, b.C)
+	for i := range b.V {
+		out.V[i] = b.V[i] + alpha*o.V[i]
+	}
+	return out
+}
+
+// ScaleShift returns alpha·b + beta (elementwise).
+func (b *Block) ScaleShift(alpha, beta float64) *Block {
+	out := NewBlock(b.R, b.C)
+	for i := range b.V {
+		out.V[i] = alpha*b.V[i] + beta
+	}
+	return out
+}
+
+// Dot returns the elementwise inner product with o.
+func (b *Block) Dot(o *Block) float64 {
+	var sum float64
+	for i := range b.V {
+		sum += b.V[i] * o.V[i]
+	}
+	return sum
+}
+
+// TaggedBlock routes blocks from different inputs of one shuffle to the
+// right operand slot in the reducer, SystemML's tagged-value pattern.
+type TaggedBlock struct {
+	Tag byte
+	B   *Block
+}
+
+// NewTagged wraps b under tag.
+func NewTagged(tag byte, b *Block) *TaggedBlock { return &TaggedBlock{Tag: tag, B: b} }
+
+// WriteTo implements wio.Writable.
+func (t *TaggedBlock) WriteTo(w *wio.Writer) error {
+	if err := w.WriteByte(t.Tag); err != nil {
+		return err
+	}
+	return t.B.WriteTo(w)
+}
+
+// ReadFields implements wio.Writable.
+func (t *TaggedBlock) ReadFields(r *wio.Reader) error {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	t.Tag = tag
+	t.B = new(Block)
+	return t.B.ReadFields(r)
+}
+
+// String implements fmt.Stringer.
+func (t *TaggedBlock) String() string { return fmt.Sprintf("t%d:%v", t.Tag, t.B) }
+
+// RandomBlock generates a deterministic block; a fraction `zeroFrac` of
+// entries are zeroed to emulate sparse data stored densely.
+func RandomBlock(r, c int32, seed int64, zeroFrac float64) *Block {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBlock(r, c)
+	for i := range b.V {
+		if zeroFrac > 0 && rng.Float64() < zeroFrac {
+			continue
+		}
+		b.V[i] = rng.Float64()
+	}
+	return b
+}

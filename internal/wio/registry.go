@@ -1,0 +1,67 @@
+package wio
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// The registry maps stable type names to factories, playing the role of
+// Java's class loading in Hadoop: serialized streams (SequenceFiles, the
+// shuffle wire format, job configurations) name types as strings, and both
+// sides of a connection resolve those names independently.
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]func() Writable
+	byType map[reflect.Type]string
+}{
+	byName: make(map[string]func() Writable),
+	byType: make(map[reflect.Type]string),
+}
+
+// Register associates name with a factory producing fresh zero values.
+// Writable types register themselves from init functions. Registering the
+// same name twice panics, mirroring a classpath conflict.
+func Register(name string, factory func() Writable) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		panic(fmt.Sprintf("wio: duplicate registration of writable %q", name))
+	}
+	registry.byName[name] = factory
+	t := reflect.TypeOf(factory())
+	if _, dup := registry.byType[t]; !dup {
+		registry.byType[t] = name
+	}
+}
+
+// New instantiates a fresh writable for a registered name.
+func New(name string) (Writable, error) {
+	registry.RLock()
+	factory, ok := registry.byName[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wio: unknown writable type %q", name)
+	}
+	return factory(), nil
+}
+
+// NameOf returns the registered name for v's dynamic type.
+func NameOf(v Writable) (string, error) {
+	registry.RLock()
+	name, ok := registry.byType[reflect.TypeOf(v)]
+	registry.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("wio: type %T is not registered", v)
+	}
+	return name, nil
+}
+
+// Registered reports whether a name is known to the registry.
+func Registered(name string) bool {
+	registry.RLock()
+	_, ok := registry.byName[name]
+	registry.RUnlock()
+	return ok
+}

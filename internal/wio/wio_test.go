@@ -1,0 +1,313 @@
+package wio_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	w := wio.NewWriter(&buf)
+	if err := w.WriteByte(0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBool(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInt32(-12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInt64(-1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFloat64(math.Pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteVarint(-99999); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteUvarint(1 << 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteString("héllo wörld"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBytes([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(buf.Len()) {
+		t.Errorf("Count=%d, buffer=%d", w.Count(), buf.Len())
+	}
+
+	r := wio.NewReader(&buf)
+	if b, _ := r.ReadByte(); b != 0xAB {
+		t.Errorf("byte: %x", b)
+	}
+	if v, _ := r.ReadBool(); !v {
+		t.Error("bool")
+	}
+	if v, _ := r.ReadInt32(); v != -12345 {
+		t.Errorf("int32: %d", v)
+	}
+	if v, _ := r.ReadInt64(); v != -1<<40 {
+		t.Errorf("int64: %d", v)
+	}
+	if v, _ := r.ReadFloat64(); v != math.Pi {
+		t.Errorf("float64: %v", v)
+	}
+	if v, _ := r.ReadVarint(); v != -99999 {
+		t.Errorf("varint: %d", v)
+	}
+	if v, _ := r.ReadUvarint(); v != 1<<42 {
+		t.Errorf("uvarint: %d", v)
+	}
+	if s, _ := r.ReadString(); s != "héllo wörld" {
+		t.Errorf("string: %q", s)
+	}
+	if b, _ := r.ReadBytes(); !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Errorf("bytes: %v", b)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestPrimitiveRoundTripProperty(t *testing.T) {
+	f := func(i32 int32, i64 int64, f64 float64, s string, b []byte, v int64, u uint64) bool {
+		var buf bytes.Buffer
+		w := wio.NewWriter(&buf)
+		if w.WriteInt32(i32) != nil || w.WriteInt64(i64) != nil ||
+			w.WriteFloat64(f64) != nil || w.WriteString(s) != nil ||
+			w.WriteBytes(b) != nil || w.WriteVarint(v) != nil || w.WriteUvarint(u) != nil {
+			return false
+		}
+		r := wio.NewReader(&buf)
+		gi32, _ := r.ReadInt32()
+		gi64, _ := r.ReadInt64()
+		gf64, _ := r.ReadFloat64()
+		gs, _ := r.ReadString()
+		gb, _ := r.ReadBytes()
+		gv, _ := r.ReadVarint()
+		gu, _ := r.ReadUvarint()
+		sameF := gf64 == f64 || (math.IsNaN(gf64) && math.IsNaN(f64))
+		return gi32 == i32 && gi64 == i64 && sameF && gs == s &&
+			bytes.Equal(gb, b) && gv == v && gu == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	in := types.NewText("some text")
+	b, err := wio.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &types.Text{}
+	if err := wio.Unmarshal(b, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "some text" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	v := types.NewLong(77)
+	name, err := wio.NameOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != types.LongName {
+		t.Errorf("NameOf: %q", name)
+	}
+	fresh, err := wio.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.(*types.LongWritable); !ok {
+		t.Errorf("New returned %T", fresh)
+	}
+	if _, err := wio.New("no.such.Type"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+	if !wio.Registered(types.TextName) {
+		t.Error("Text should be registered")
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := types.NewText("clone me")
+	c, err := wio.Clone(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned := c.(*types.Text)
+	if cloned == orig {
+		t.Fatal("clone aliases original")
+	}
+	orig.Set("mutated")
+	if cloned.String() != "clone me" {
+		t.Errorf("clone changed with original: %q", cloned)
+	}
+}
+
+func TestEncoderDecoderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	enc := wio.NewEncoder(&buf, false)
+	vals := []wio.Writable{
+		types.NewInt(1), types.NewText("abc"), types.NewDouble(2.5), nil,
+	}
+	for _, v := range vals {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dec := wio.NewDecoder(&buf)
+	for i, want := range vals {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if want == nil {
+			if got != nil {
+				t.Fatalf("decode %d: expected nil", i)
+			}
+			continue
+		}
+		if !wio.Equal(got, want) {
+			t.Fatalf("decode %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF marker, got %v", err)
+	}
+}
+
+// TestEncoderDedupAliases checks the X10-style semantics of §3.2.2.3: an
+// object written k times crosses the wire once and decodes to k aliases of
+// one object.
+func TestEncoderDedupAliases(t *testing.T) {
+	broadcast := types.NewText("the broadcast vector block")
+	var buf bytes.Buffer
+	enc := wio.NewEncoder(&buf, true)
+	const k = 5
+	for i := 0; i < k; i++ {
+		if err := enc.Encode(broadcast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.DedupHits() != k-1 {
+		t.Errorf("dedup hits: got %d, want %d", enc.DedupHits(), k-1)
+	}
+	dedupSize := buf.Len()
+
+	dec := wio.NewDecoder(&buf)
+	first, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < k; i++ {
+		v, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != first {
+			t.Fatalf("decode %d is not an alias of the first copy", i)
+		}
+	}
+
+	// Without dedup the stream must be substantially larger.
+	var buf2 bytes.Buffer
+	enc2 := wio.NewEncoder(&buf2, false)
+	for i := 0; i < k; i++ {
+		if err := enc2.Encode(broadcast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf2.Len() <= dedupSize {
+		t.Errorf("non-dedup stream %d bytes should exceed dedup stream %d bytes", buf2.Len(), dedupSize)
+	}
+}
+
+// TestEncoderDedupDistinctEqualObjects: equal values in distinct objects
+// are NOT deduplicated — identity, not equality, as in serialization
+// back-references.
+func TestEncoderDedupDistinctEqualObjects(t *testing.T) {
+	var buf bytes.Buffer
+	enc := wio.NewEncoder(&buf, true)
+	if err := enc.Encode(types.NewInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(types.NewInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if enc.DedupHits() != 0 {
+		t.Errorf("distinct objects must not dedup, hits=%d", enc.DedupHits())
+	}
+}
+
+func TestEncoderPairStream(t *testing.T) {
+	var buf bytes.Buffer
+	enc := wio.NewEncoder(&buf, true)
+	n := 100
+	for i := 0; i < n; i++ {
+		if err := enc.EncodePair(wio.Pair{Key: types.NewInt(int32(i)), Value: types.NewText("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := wio.NewDecoder(&buf)
+	for i := 0; i < n; i++ {
+		p, err := dec.DecodePair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Key.(*types.IntWritable).Get() != int32(i) {
+			t.Fatalf("pair %d: key %v", i, p.Key)
+		}
+	}
+}
+
+func TestDecoderCorruptStream(t *testing.T) {
+	dec := wio.NewDecoder(bytes.NewReader([]byte{0x77, 0x01, 0x02}))
+	if _, err := dec.Decode(); err == nil {
+		t.Error("expected error on unknown tag")
+	}
+	// A back-reference to a never-sent object must fail.
+	var buf bytes.Buffer
+	buf.WriteByte(2) // tagRef
+	buf.WriteByte(9) // id 9
+	dec = wio.NewDecoder(&buf)
+	if _, err := dec.Decode(); err == nil {
+		t.Error("expected error on dangling back-reference")
+	}
+}
+
+func TestHashCodeStable(t *testing.T) {
+	a, b := types.NewText("stable"), types.NewText("stable")
+	if wio.HashCode(a) != wio.HashCode(b) {
+		t.Error("equal values must hash equally")
+	}
+}
+
+func TestDeserializingComparator(t *testing.T) {
+	cmp := wio.NewDeserializingComparator(wio.NaturalOrder{}, func() wio.Writable { return &types.IntWritable{} })
+	a, _ := wio.Marshal(types.NewInt(3))
+	b, _ := wio.Marshal(types.NewInt(10))
+	if cmp.CompareRaw(a, b) >= 0 {
+		t.Error("3 should sort before 10")
+	}
+	if cmp.Compare(types.NewInt(5), types.NewInt(5)) != 0 {
+		t.Error("equal ints must compare 0")
+	}
+}

@@ -1,0 +1,259 @@
+// Package wio implements the binary data model that every key and value in
+// this repository flows through: a Hadoop Writable-style serialization layer.
+//
+// It provides
+//
+//   - Writer / Reader: DataOutput/DataInput-like primitive codecs,
+//   - Writable: the interface all keys/values implement,
+//   - a type registry so streams can name types (the moral equivalent of
+//     Java class names in Hadoop's SequenceFiles and shuffle),
+//   - Encoder / Decoder: a stream codec with optional de-duplication. The
+//     de-duplication reproduces the X10 serialization behaviour the M3R
+//     paper relies on (§3.2.2.3): if the same object is written twice, the
+//     second write emits a back-reference, and the decoder returns aliases
+//     of a single reconstructed object.
+package wio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer wraps an io.Writer with primitive encoding methods in the style of
+// Hadoop's DataOutput. All multi-byte integers are big-endian; variable
+// length integers use zig-zag varint encoding.
+type Writer struct {
+	w     io.Writer
+	buf   [binary.MaxVarintLen64]byte
+	count int64
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Count reports the total number of bytes written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Reset re-targets the writer at a new underlying stream and zeroes Count.
+func (w *Writer) Reset(out io.Writer) {
+	w.w = out
+	w.count = 0
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	w.count += int64(n)
+	return n, err
+}
+
+// WriteByte writes a single byte.
+func (w *Writer) WriteByte(b byte) error {
+	w.buf[0] = b
+	_, err := w.Write(w.buf[:1])
+	return err
+}
+
+// WriteBool writes a boolean as one byte.
+func (w *Writer) WriteBool(v bool) error {
+	if v {
+		return w.WriteByte(1)
+	}
+	return w.WriteByte(0)
+}
+
+// WriteUint32 writes a fixed-width big-endian uint32.
+func (w *Writer) WriteUint32(v uint32) error {
+	binary.BigEndian.PutUint32(w.buf[:4], v)
+	_, err := w.Write(w.buf[:4])
+	return err
+}
+
+// WriteInt32 writes a fixed-width big-endian int32.
+func (w *Writer) WriteInt32(v int32) error { return w.WriteUint32(uint32(v)) }
+
+// WriteUint64 writes a fixed-width big-endian uint64.
+func (w *Writer) WriteUint64(v uint64) error {
+	binary.BigEndian.PutUint64(w.buf[:8], v)
+	_, err := w.Write(w.buf[:8])
+	return err
+}
+
+// WriteInt64 writes a fixed-width big-endian int64.
+func (w *Writer) WriteInt64(v int64) error { return w.WriteUint64(uint64(v)) }
+
+// WriteFloat64 writes an IEEE-754 double.
+func (w *Writer) WriteFloat64(v float64) error {
+	return w.WriteUint64(math.Float64bits(v))
+}
+
+// WriteVarint writes a zig-zag encoded signed varint.
+func (w *Writer) WriteVarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.Write(w.buf[:n])
+	return err
+}
+
+// WriteUvarint writes an unsigned varint.
+func (w *Writer) WriteUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.Write(w.buf[:n])
+	return err
+}
+
+// WriteString writes a varint length followed by the raw bytes of s.
+func (w *Writer) WriteString(s string) error {
+	if err := w.WriteUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// WriteBytes writes a varint length followed by the bytes.
+func (w *Writer) WriteBytes(b []byte) error {
+	if err := w.WriteUvarint(uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// Flush flushes the underlying writer when it supports flushing.
+func (w *Writer) Flush() error {
+	if f, ok := w.w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// Reader wraps an io.Reader with primitive decoding methods matching Writer.
+type Reader struct {
+	r     io.Reader
+	buf   [8]byte
+	count int64
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Count reports the total number of bytes consumed so far.
+func (r *Reader) Count() int64 { return r.count }
+
+// Reset re-targets the reader at a new underlying stream and zeroes Count.
+func (r *Reader) Reset(in io.Reader) {
+	r.r = in
+	r.count = 0
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	r.count += int64(n)
+	return n, err
+}
+
+func (r *Reader) readFull(p []byte) error {
+	n, err := io.ReadFull(r.r, p)
+	r.count += int64(n)
+	return err
+}
+
+// ReadByte reads a single byte. It implements io.ByteReader.
+func (r *Reader) ReadByte() (byte, error) {
+	if err := r.readFull(r.buf[:1]); err != nil {
+		return 0, err
+	}
+	return r.buf[0], nil
+}
+
+// ReadBool reads a boolean written by WriteBool.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadByte()
+	return b != 0, err
+}
+
+// ReadUint32 reads a fixed-width big-endian uint32.
+func (r *Reader) ReadUint32() (uint32, error) {
+	if err := r.readFull(r.buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(r.buf[:4]), nil
+}
+
+// ReadInt32 reads a fixed-width big-endian int32.
+func (r *Reader) ReadInt32() (int32, error) {
+	v, err := r.ReadUint32()
+	return int32(v), err
+}
+
+// ReadUint64 reads a fixed-width big-endian uint64.
+func (r *Reader) ReadUint64() (uint64, error) {
+	if err := r.readFull(r.buf[:8]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(r.buf[:8]), nil
+}
+
+// ReadInt64 reads a fixed-width big-endian int64.
+func (r *Reader) ReadInt64() (int64, error) {
+	v, err := r.ReadUint64()
+	return int64(v), err
+}
+
+// ReadFloat64 reads an IEEE-754 double.
+func (r *Reader) ReadFloat64() (float64, error) {
+	v, err := r.ReadUint64()
+	return math.Float64frombits(v), err
+}
+
+// ReadVarint reads a zig-zag encoded signed varint.
+func (r *Reader) ReadVarint() (int64, error) {
+	return binary.ReadVarint(r)
+}
+
+// ReadUvarint reads an unsigned varint.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+// maxLen guards length prefixes against corrupt streams so a flipped bit
+// cannot trigger a multi-gigabyte allocation.
+const maxLen = 1 << 30
+
+// ReadString reads a string written by WriteString.
+func (r *Reader) ReadString() (string, error) {
+	b, err := r.ReadBytesBuf(nil)
+	return string(b), err
+}
+
+// ReadBytes reads a byte slice written by WriteBytes into a fresh buffer.
+func (r *Reader) ReadBytes() ([]byte, error) {
+	return r.ReadBytesBuf(nil)
+}
+
+// ReadBytesBuf reads a byte slice written by WriteBytes, reusing buf when it
+// has sufficient capacity.
+func (r *Reader) ReadBytesBuf(buf []byte) ([]byte, error) {
+	n, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("wio: length prefix %d exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if err := r.readFull(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,171 @@
+// Package wordcount is the paper's §6.3 workload, in both variants of
+// Fig. 4: the classic Hadoop WordCount whose mapper reuses a single Text
+// and IntWritable across collect calls (cheap on Hadoop, forces cloning on
+// M3R), and the ImmutableOutput variant that allocates a fresh Text per
+// token (more GC pressure, but lets M3R alias).
+package wordcount
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"m3r/internal/conf"
+	"m3r/internal/dfs"
+	"m3r/internal/formats"
+	"m3r/internal/mapred"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// Registered component names.
+const (
+	MutatingMapperName  = "examples.WordCount$MutatingMap"
+	ImmutableMapperName = "examples.WordCount$ImmutableMap"
+	SumReducerName      = "examples.WordCount$Reduce"
+)
+
+func init() {
+	mapred.RegisterMapper(MutatingMapperName, func() mapred.Mapper { return &MutatingMapper{} })
+	mapred.RegisterMapper(ImmutableMapperName, func() mapred.Mapper { return &ImmutableMapper{} })
+	mapred.RegisterReducer(SumReducerName, func() mapred.Reducer { return &SumReducer{} })
+}
+
+// MutatingMapper is Fig. 4 (left): one reused Text/IntWritable pair. Legal
+// under stock Hadoop (output is serialized immediately); under M3R the
+// engine must clone each emitted pair.
+type MutatingMapper struct {
+	mapred.Base
+	one  types.IntWritable
+	word types.Text
+}
+
+// Map implements mapred.Mapper.
+func (m *MutatingMapper) Map(_, value wio.Writable, output mapred.OutputCollector, _ mapred.Reporter) error {
+	m.one.Set(1)
+	for _, tok := range bytes.Fields(value.(*types.Text).B) {
+		m.word.SetBytes(tok)
+		if err := output.Collect(&m.word, &m.one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImmutableMapper is Fig. 4 (right): a fresh Text per token, never mutated
+// after collect, declared via the ImmutableOutput marker.
+type ImmutableMapper struct {
+	mapred.Base
+	one types.IntWritable
+}
+
+// AssertImmutableOutput marks the mapper (§4.1).
+func (*ImmutableMapper) AssertImmutableOutput() {}
+
+// Map implements mapred.Mapper.
+func (m *ImmutableMapper) Map(_, value wio.Writable, output mapred.OutputCollector, _ mapred.Reporter) error {
+	m.one.Set(1)
+	for _, tok := range bytes.Fields(value.(*types.Text).B) {
+		word := &types.Text{}
+		word.SetBytes(tok)
+		if err := output.Collect(word, &m.one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SumReducer sums the counts of one word. It allocates a fresh result per
+// group, so it carries the marker and doubles as the combiner.
+type SumReducer struct{ mapred.Base }
+
+// AssertImmutableOutput marks the reducer (§4.1).
+func (*SumReducer) AssertImmutableOutput() {}
+
+// Reduce implements mapred.Reducer.
+func (*SumReducer) Reduce(key wio.Writable, values mapred.ValueIterator, output mapred.OutputCollector, _ mapred.Reporter) error {
+	sum := int32(0)
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		sum += v.(*types.IntWritable).Get()
+	}
+	return output.Collect(key, types.NewInt(sum))
+}
+
+// NewJob builds a WordCount job over input (text) writing counts to
+// output. immutable selects the Fig. 4 variant. The combiner is always on,
+// as in the stock example.
+func NewJob(input, output string, reducers int, immutable bool) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("wordcount")
+	job.SetInputFormatClass(formats.TextInputFormatName)
+	job.SetOutputFormatClass(formats.TextOutputFormatName)
+	job.AddInputPath(input)
+	job.SetOutputPath(output)
+	job.SetNumReduceTasks(reducers)
+	if immutable {
+		job.SetMapperClass(ImmutableMapperName)
+	} else {
+		job.SetMapperClass(MutatingMapperName)
+	}
+	job.SetReducerClass(SumReducerName)
+	job.SetCombinerClass(SumReducerName)
+	job.SetMapOutputKeyClass(types.TextName)
+	job.SetMapOutputValueClass(types.IntName)
+	job.SetOutputKeyClass(types.TextName)
+	job.SetOutputValueClass(types.IntName)
+	return job
+}
+
+// Generate writes approximately sizeBytes of synthetic text (Zipf-ish word
+// frequencies over a fixed vocabulary) to path on fs, deterministically
+// for a given seed.
+func Generate(fs dfs.FileSystem, path string, sizeBytes int64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, 1000)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%04d", i)
+	}
+	zipf := rand.NewZipf(rng, 1.3, 1.0, uint64(len(vocab)-1))
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	var line bytes.Buffer
+	var written int64
+	for written < sizeBytes {
+		line.Reset()
+		words := 5 + rng.Intn(10)
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				line.WriteByte(' ')
+			}
+			line.WriteString(vocab[zipf.Uint64()])
+		}
+		line.WriteByte('\n')
+		n, err := w.Write(line.Bytes())
+		if err != nil {
+			w.Close()
+			return err
+		}
+		written += int64(n)
+	}
+	return w.Close()
+}
+
+// CountReference computes the expected word counts directly, for output
+// verification.
+func CountReference(fs dfs.FileSystem, path string) (map[string]int32, error) {
+	data, err := dfs.ReadAll(fs, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int32)
+	for _, tok := range bytes.Fields(data) {
+		out[string(tok)]++
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package wordcount_test
+
+import (
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/formats"
+	"m3r/internal/hmrext"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+	"m3r/internal/wordcount"
+)
+
+type sink struct{ pairs []wio.Pair }
+
+func (s *sink) Collect(k, v wio.Writable) error {
+	s.pairs = append(s.pairs, wio.Pair{Key: k, Value: v})
+	return nil
+}
+
+type nilReporter struct{ c *counters.Counters }
+
+func (r nilReporter) Progress()                             {}
+func (r nilReporter) SetStatus(string)                      {}
+func (r nilReporter) IncrCounter(g, n string, a int64)      { r.c.Incr(g, n, a) }
+func (r nilReporter) Counter(g, n string) *counters.Counter { return r.c.Find(g, n) }
+func (r nilReporter) InputSplit() formats.InputSplit        { return nil }
+
+func TestMutatingMapperReusesObjects(t *testing.T) {
+	m := &wordcount.MutatingMapper{}
+	out := &sink{}
+	rep := nilReporter{c: counters.New()}
+	if err := m.Map(types.NewLong(0), types.NewText("aa bb cc"), out, rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.pairs) != 3 {
+		t.Fatalf("tokens: %d", len(out.pairs))
+	}
+	// Fig. 4 (left): the same Text object is emitted every time.
+	if out.pairs[0].Key != out.pairs[1].Key {
+		t.Error("mutating mapper must reuse its word object")
+	}
+	if hmrext.IsImmutableOutput(m) {
+		t.Error("mutating mapper must not carry the marker")
+	}
+}
+
+func TestImmutableMapperFreshObjects(t *testing.T) {
+	m := &wordcount.ImmutableMapper{}
+	out := &sink{}
+	rep := nilReporter{c: counters.New()}
+	if err := m.Map(types.NewLong(0), types.NewText("aa bb"), out, rep); err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 4 (right): fresh Text per token.
+	if out.pairs[0].Key == out.pairs[1].Key {
+		t.Error("immutable mapper must allocate fresh words")
+	}
+	if out.pairs[0].Key.(*types.Text).String() != "aa" {
+		t.Error("content")
+	}
+	if !hmrext.IsImmutableOutput(m) {
+		t.Error("immutable mapper must carry the marker")
+	}
+}
+
+type valIter struct {
+	vals []wio.Writable
+	pos  int
+}
+
+func (it *valIter) Next() (wio.Writable, bool) {
+	if it.pos >= len(it.vals) {
+		return nil, false
+	}
+	v := it.vals[it.pos]
+	it.pos++
+	return v, true
+}
+
+func TestSumReducer(t *testing.T) {
+	r := &wordcount.SumReducer{}
+	out := &sink{}
+	it := &valIter{vals: []wio.Writable{types.NewInt(2), types.NewInt(3)}}
+	if err := r.Reduce(types.NewText("w"), it, out, nilReporter{c: counters.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if out.pairs[0].Value.(*types.IntWritable).Get() != 5 {
+		t.Errorf("sum: %v", out.pairs[0].Value)
+	}
+}
+
+func TestNewJobConf(t *testing.T) {
+	job := wordcount.NewJob("/in", "/out", 3, true)
+	if job.Get(conf.KeyMapperClass) != wordcount.ImmutableMapperName {
+		t.Error("immutable variant")
+	}
+	if job.Get(conf.KeyCombinerClass) != wordcount.SumReducerName {
+		t.Error("combiner")
+	}
+	if job.NumReduceTasks() != 3 {
+		t.Error("reducers")
+	}
+	job = wordcount.NewJob("/in", "/out", 1, false)
+	if job.Get(conf.KeyMapperClass) != wordcount.MutatingMapperName {
+		t.Error("mutating variant")
+	}
+}
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	fs, err := dfs.NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wordcount.Generate(fs, "/a", 10<<10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := wordcount.Generate(fs, "/b", 10<<10, 5); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dfs.ReadAll(fs, "/a")
+	b, _ := dfs.ReadAll(fs, "/b")
+	if string(a) != string(b) {
+		t.Error("same seed must generate identical corpora")
+	}
+	if int64(len(a)) < 10<<10 {
+		t.Errorf("size: %d", len(a))
+	}
+	counts, err := wordcount.CountReference(fs, "/a")
+	if err != nil || len(counts) == 0 {
+		t.Fatalf("reference: %d words, err=%v", len(counts), err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package x10 is the runtime substrate the M3R engine runs on, substituting
+// for the X10 language runtime of the paper (§5.1). It provides
+//
+//   - places: a fixed set of simulated cluster nodes, each with a bounded
+//     pool of worker slots (the paper's "one process per host, 8 worker
+//     threads"),
+//   - finish/async structured concurrency and Team cyclic barriers ("no
+//     reducer is allowed to run until globally all shuffle messages have
+//     been sent"),
+//   - a transport whose cross-place sends pass through real binary
+//     serialization with optional de-duplication, while same-place sends
+//     are free aliasing — the asymmetry every M3R optimization exploits.
+//
+// Places live in one OS process here; the data isolation that matters for
+// the paper's measurements (serialize/copy when remote, alias when local)
+// is enforced by the transport rather than by address spaces.
+package x10
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"m3r/internal/sim"
+	"m3r/internal/wio"
+)
+
+// Runtime is a fixed set of places plus the transport between them.
+type Runtime struct {
+	places []*Place
+	stats  *sim.Stats
+	cost   *sim.CostModel
+}
+
+// Place is one simulated cluster node.
+type Place struct {
+	id      int
+	host    string
+	workers chan struct{}
+}
+
+// ID returns the place's index in [0, NumPlaces).
+func (p *Place) ID() int { return p.id }
+
+// Host returns the place's host name ("nodeN"), matching the simulated
+// HDFS datanode names so block locality can be resolved.
+func (p *Place) Host() string { return p.host }
+
+// Options configures a Runtime.
+type Options struct {
+	// Places is the number of simulated nodes (default 1).
+	Places int
+	// WorkersPerPlace bounds concurrent tasks per place (default 2).
+	WorkersPerPlace int
+	// Stats and Cost may be nil.
+	Stats *sim.Stats
+	Cost  *sim.CostModel
+}
+
+// NewRuntime creates a runtime with opts.Places places.
+func NewRuntime(opts Options) *Runtime {
+	n := opts.Places
+	if n <= 0 {
+		n = 1
+	}
+	w := opts.WorkersPerPlace
+	if w <= 0 {
+		w = 2
+	}
+	cost := opts.Cost
+	if cost == nil {
+		cost = sim.Zero()
+	}
+	rt := &Runtime{stats: opts.Stats, cost: cost}
+	for i := 0; i < n; i++ {
+		rt.places = append(rt.places, &Place{
+			id:      i,
+			host:    fmt.Sprintf("node%d", i),
+			workers: make(chan struct{}, w),
+		})
+	}
+	return rt
+}
+
+// NumPlaces returns the number of places.
+func (rt *Runtime) NumPlaces() int { return len(rt.places) }
+
+// Place returns place p.
+func (rt *Runtime) Place(p int) *Place { return rt.places[p] }
+
+// Hosts returns every place's host name, index-aligned with place ids.
+func (rt *Runtime) Hosts() []string {
+	out := make([]string, len(rt.places))
+	for i, p := range rt.places {
+		out[i] = p.host
+	}
+	return out
+}
+
+// PlaceOfHost resolves a host name to a place id, or -1.
+func (rt *Runtime) PlaceOfHost(host string) int {
+	for i, p := range rt.places {
+		if p.host == host {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats returns the runtime's statistics sink (may be nil).
+func (rt *Runtime) Stats() *sim.Stats { return rt.stats }
+
+// Cost returns the runtime's cost model.
+func (rt *Runtime) Cost() *sim.CostModel { return rt.cost }
+
+// At runs f synchronously "at" place p, occupying one of p's worker slots.
+// It models X10's `at (p) S` for computation placement: the caller blocks
+// until a slot is free and f returns.
+func (rt *Runtime) At(p int, f func()) {
+	place := rt.places[p]
+	place.workers <- struct{}{}
+	defer func() { <-place.workers }()
+	f()
+}
+
+// Finish is a structured-concurrency scope: every Async spawned on it is
+// awaited by Wait, and the first error (or panic, converted to an error)
+// is reported. It models X10's `finish { async S ... }`.
+type Finish struct {
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	first error
+}
+
+// NewFinish returns an empty finish scope.
+func NewFinish() *Finish { return &Finish{} }
+
+// Async runs f concurrently within the scope.
+func (fin *Finish) Async(f func() error) {
+	fin.wg.Add(1)
+	go func() {
+		defer fin.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				fin.report(fmt.Errorf("x10: async panicked: %v", r))
+			}
+		}()
+		if err := f(); err != nil {
+			fin.report(err)
+		}
+	}()
+}
+
+func (fin *Finish) report(err error) {
+	fin.mu.Lock()
+	if fin.first == nil {
+		fin.first = err
+	}
+	fin.mu.Unlock()
+}
+
+// Wait blocks until every Async completes and returns the first error.
+func (fin *Finish) Wait() error {
+	fin.wg.Wait()
+	fin.mu.Lock()
+	defer fin.mu.Unlock()
+	return fin.first
+}
+
+// EveryPlace runs f(p) concurrently at every place (one worker slot each)
+// and waits for all, returning the first error.
+func (rt *Runtime) EveryPlace(f func(p int) error) error {
+	fin := NewFinish()
+	for i := range rt.places {
+		p := i
+		fin.Async(func() error {
+			var err error
+			rt.At(p, func() { err = f(p) })
+			return err
+		})
+	}
+	return fin.Wait()
+}
+
+// Team is a cyclic barrier over n members, modelling X10's Team API. The
+// M3R engine uses it to separate the shuffle and reduce phases.
+type Team struct {
+	n     int
+	mu    sync.Mutex
+	count int
+	gen   chan struct{}
+}
+
+// NewTeam returns a barrier for n members.
+func NewTeam(n int) *Team {
+	return &Team{n: n, gen: make(chan struct{})}
+}
+
+// Barrier blocks until all n members have called it, then releases them
+// all. The barrier is reusable.
+func (t *Team) Barrier() {
+	t.mu.Lock()
+	t.count++
+	if t.count == t.n {
+		t.count = 0
+		close(t.gen)
+		t.gen = make(chan struct{})
+		t.mu.Unlock()
+		return
+	}
+	ch := t.gen
+	t.mu.Unlock()
+	<-ch
+}
+
+// ShipResult describes one transport delivery.
+type ShipResult struct {
+	// Pairs are the delivered pairs; for local sends they alias the input.
+	Pairs []wio.Pair
+	// Bytes is the serialized size (0 for local sends).
+	Bytes int64
+	// DedupHits counts objects elided by the de-duplicating encoder.
+	DedupHits uint64
+	// Remote reports whether serialization happened.
+	Remote bool
+}
+
+// ShipPairs moves pairs from place `from` to place `to`.
+//
+// Same-place sends return the input slice unchanged: no serialization, no
+// copying, no cost — this is the co-location benefit of §3.2.2.1. (Whether
+// the pairs are safe to alias is the engine's concern via ImmutableOutput.)
+//
+// Cross-place sends serialize every pair with a de-duplicating encoder
+// (when dedup is true), charge the modelled network, and decode into fresh
+// objects on the far side. Repeated objects — the broadcast vector blocks
+// of §3.2.2.3 — are transmitted once and arrive as aliases.
+func (rt *Runtime) ShipPairs(from, to int, pairs []wio.Pair, dedup bool) (ShipResult, error) {
+	if from == to {
+		rt.stats.Add(sim.LocalPairs, int64(len(pairs)))
+		return ShipResult{Pairs: pairs}, nil
+	}
+	var buf bytes.Buffer
+	enc := wio.NewEncoder(&buf, dedup)
+	for _, p := range pairs {
+		if err := enc.EncodePair(p); err != nil {
+			return ShipResult{}, fmt.Errorf("x10: serializing for place %d: %w", to, err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return ShipResult{}, err
+	}
+	n := int64(buf.Len())
+	rt.stats.Add(sim.RemoteBytes, n)
+	rt.stats.Add(sim.RemoteTransfers, 1)
+	rt.stats.Add(sim.DedupHits, int64(enc.DedupHits()))
+	rt.cost.ChargeNet(rt.stats, n)
+
+	dec := wio.NewDecoder(&buf)
+	out := make([]wio.Pair, 0, len(pairs))
+	for i := 0; i < len(pairs); i++ {
+		p, err := dec.DecodePair()
+		if err != nil {
+			return ShipResult{}, fmt.Errorf("x10: deserializing at place %d: %w", to, err)
+		}
+		out = append(out, p)
+	}
+	return ShipResult{Pairs: out, Bytes: n, DedupHits: enc.DedupHits(), Remote: true}, nil
+}
