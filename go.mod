@@ -1,0 +1,3 @@
+module m3r
+
+go 1.24

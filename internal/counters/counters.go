@@ -3,6 +3,10 @@
 // aggregated into the job report. Both engines keep the standard system
 // counters updated (map input/output records, shuffled bytes, spilled
 // records, …) alongside user counters, as the paper notes M3R does (§5.3).
+//
+// Incr/Find take a mutex to resolve group/name strings; hot per-record
+// paths avoid that by resolving their Counter pointers once per task
+// (engine.TaskContext.Cells) and paying only the atomic add thereafter.
 package counters
 
 import (
@@ -113,12 +117,18 @@ func (cs *Counters) Value(group, name string) int64 {
 	return 0
 }
 
-// MergeFrom adds every counter in other into the receiver. Engines use it
-// to aggregate per-task counters into the job total.
+// MergeFrom adds every non-zero counter in other into the receiver.
+// Engines use it to aggregate per-task counters into the job total.
+// Zero-valued counters are skipped: tasks pre-resolve hot-path cells
+// (engine.TaskContext.Cells) that often stay untouched — e.g. the M3R
+// shuffle cells in a Hadoop-engine task — and merging them would pad
+// every job report with irrelevant zero entries.
 func (cs *Counters) MergeFrom(other *Counters) {
 	for _, gname := range other.Groups() {
 		for _, c := range other.GroupCounters(gname) {
-			cs.Incr(gname, c.Name(), c.Value())
+			if v := c.Value(); v != 0 {
+				cs.Incr(gname, c.Name(), v)
+			}
 		}
 	}
 }

@@ -3,6 +3,16 @@
 // the old-style Reporter and the new-style Context), the component resolver
 // that turns a JobConf's class names into runnable task adapters for either
 // API style, and the sort/group machinery that drives reducers.
+//
+// The shuffle-and-sort path is run-based: map tasks sort their
+// per-partition output map-side and ship sorted runs, and the reduce side
+// k-way merges the runs with a stable tournament tree of losers
+// (MergeRuns) instead of re-sorting the whole partition. Standard key
+// types resolve to raw comparators (ResolvedJob.SortCmp/RawSortCmp) so
+// comparisons skip both deserialization (Hadoop engine spills) and the
+// Comparable-interface hop (in-memory merges). Per-record accounting goes
+// through TaskContext.Cells — counters resolved once per task into atomic
+// cells — rather than locked group/name map lookups.
 package engine
 
 import (
@@ -72,18 +82,60 @@ type TaskContext struct {
 	Split    formats.InputSplit
 	TaskID   string
 
+	// Cells holds the hot-path counters, resolved once at task start so
+	// per-record accounting is a single atomic add instead of a locked
+	// group/name map lookup per increment.
+	Cells CounterCells
+
 	mu     sync.Mutex
 	status string
 	emit   func(key, value wio.Writable) error
 }
 
+// CounterCells is the set of per-record counters both engines update on
+// their hottest paths. TaskContext resolves them eagerly; everything else
+// (per-task launch counters, user counters) still goes through IncrCounter.
+type CounterCells struct {
+	MapInputRecords     *counters.Counter
+	MapOutputRecords    *counters.Counter
+	MapOutputBytes      *counters.Counter
+	CombineInputRecords *counters.Counter
+	ReduceInputGroups   *counters.Counter
+	ReduceInputRecords  *counters.Counter
+	ReduceOutputRecords *counters.Counter
+	SpilledRecords      *counters.Counter
+	LocalShufflePairs   *counters.Counter
+	RemoteShufflePairs  *counters.Counter
+	ClonedPairs         *counters.Counter
+	AliasedPairs        *counters.Counter
+}
+
+func resolveCells(cs *counters.Counters) CounterCells {
+	return CounterCells{
+		MapInputRecords:     cs.Find(counters.TaskGroup, counters.MapInputRecords),
+		MapOutputRecords:    cs.Find(counters.TaskGroup, counters.MapOutputRecords),
+		MapOutputBytes:      cs.Find(counters.TaskGroup, counters.MapOutputBytes),
+		CombineInputRecords: cs.Find(counters.TaskGroup, counters.CombineInputRecords),
+		ReduceInputGroups:   cs.Find(counters.TaskGroup, counters.ReduceInputGroups),
+		ReduceInputRecords:  cs.Find(counters.TaskGroup, counters.ReduceInputRecords),
+		ReduceOutputRecords: cs.Find(counters.TaskGroup, counters.ReduceOutputRecords),
+		SpilledRecords:      cs.Find(counters.TaskGroup, counters.SpilledRecords),
+		LocalShufflePairs:   cs.Find(counters.M3RGroup, counters.LocalShufflePairs),
+		RemoteShufflePairs:  cs.Find(counters.M3RGroup, counters.RemoteShufflePairs),
+		ClonedPairs:         cs.Find(counters.M3RGroup, counters.ClonedPairs),
+		AliasedPairs:        cs.Find(counters.M3RGroup, counters.AliasedPairs),
+	}
+}
+
 // NewTaskContext builds a context for one task attempt.
 func NewTaskContext(job *conf.JobConf, taskID string, split formats.InputSplit) *TaskContext {
+	cs := counters.New()
 	return &TaskContext{
 		Job:      job,
-		Counters: counters.New(),
+		Counters: cs,
 		Split:    split,
 		TaskID:   taskID,
+		Cells:    resolveCells(cs),
 	}
 }
 

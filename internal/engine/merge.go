@@ -1,0 +1,146 @@
+package engine
+
+import "m3r/internal/wio"
+
+// This file implements the reduce-side k-way merge of the run-based
+// shuffle-and-sort pipeline. Map tasks sort their per-partition output
+// map-side (inside the already-parallel map phase) and ship *sorted runs*;
+// the reduce task then merges the runs in O(n log k) instead of re-sorting
+// the whole partition in O(n log n) — the same structure Hadoop's sorted
+// spill files and out-of-core merge exploit, kept entirely in memory here.
+//
+// The merge is a tournament tree of losers: each internal node stores the
+// run that lost the match at that node, the overall winner sits at the
+// root. Advancing the winner replays exactly one leaf-to-root path
+// (ceil(log2 k) comparisons), with no heap sift-down bookkeeping.
+
+// MergeRuns merges sorted runs into a single sorted slice. Stability
+// contract: runs must be given in source-task order, each run must be
+// internally sorted by cmp with equal keys in original emission order, and
+// ties across runs resolve to the lower run index. Under that contract the
+// output is identical to concatenating the runs in order and stable-sorting
+// the result (the engine's former reduce-side sort), so reducers observe
+// byte-identical input order.
+//
+// MergeRuns may compact the runs slice in place (dropping empty runs) and
+// may return one of the run slices directly when only one run is non-empty.
+func MergeRuns(runs [][]wio.Pair, cmp wio.Comparator) []wio.Pair {
+	// Drop empty runs, preserving relative order.
+	k, total := 0, 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			runs[k] = r
+			k++
+			total += len(r)
+		}
+	}
+	runs = runs[:k]
+	switch k {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	case 2:
+		return merge2(runs[0], runs[1], cmp)
+	}
+	out := make([]wio.Pair, 0, total)
+	t := newLoserTree(runs, cmp)
+	for {
+		w := t.tree[0]
+		p := t.pos[w]
+		if p >= len(t.runs[w]) {
+			// The champion is exhausted; every run is.
+			return out
+		}
+		out = append(out, t.runs[w][p])
+		t.pos[w] = p + 1
+		t.replay(w)
+	}
+}
+
+// merge2 is the two-run special case: a plain two-finger merge beats the
+// tournament tree when there is no tournament to run. Ties go to a, the
+// lower-indexed run.
+func merge2(a, b []wio.Pair, cmp wio.Comparator) []wio.Pair {
+	out := make([]wio.Pair, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp.Compare(b[j].Key, a[i].Key) < 0 {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// loserTree is the tournament state over k non-empty runs. Leaf i lives at
+// conceptual node k+i; internal nodes 1..k-1 each hold the index of the run
+// that lost there; tree[0] holds the champion.
+type loserTree struct {
+	runs [][]wio.Pair
+	pos  []int
+	tree []int
+	cmp  wio.Comparator
+	k    int
+}
+
+// newLoserTree builds the tree bottom-up: every internal node plays its
+// children's winners, keeps the loser, and sends the winner up.
+func newLoserTree(runs [][]wio.Pair, cmp wio.Comparator) *loserTree {
+	k := len(runs)
+	t := &loserTree{
+		runs: runs,
+		pos:  make([]int, k),
+		tree: make([]int, k),
+		cmp:  cmp,
+		k:    k,
+	}
+	winner := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		winner[k+i] = i
+	}
+	for n := k - 1; n >= 1; n-- {
+		a, b := winner[2*n], winner[2*n+1]
+		if t.wins(a, b) {
+			winner[n], t.tree[n] = a, b
+		} else {
+			winner[n], t.tree[n] = b, a
+		}
+	}
+	t.tree[0] = winner[1]
+	return t
+}
+
+// replay re-runs the matches on leaf w's path to the root after run w's
+// head advanced, restoring the loser-tree invariant.
+func (t *loserTree) replay(w int) {
+	cur := w
+	for n := (t.k + w) / 2; n >= 1; n /= 2 {
+		if t.wins(t.tree[n], cur) {
+			t.tree[n], cur = cur, t.tree[n]
+		}
+	}
+	t.tree[0] = cur
+}
+
+// wins reports whether run i's head should be emitted before run j's: an
+// exhausted run loses to any live one, key order decides otherwise, and
+// equal keys go to the lower run index (the stability tie-break).
+func (t *loserTree) wins(i, j int) bool {
+	pi, pj := t.pos[i], t.pos[j]
+	if pi >= len(t.runs[i]) {
+		return pj >= len(t.runs[j]) && i < j
+	}
+	if pj >= len(t.runs[j]) {
+		return true
+	}
+	c := t.cmp.Compare(t.runs[i][pi].Key, t.runs[j][pj].Key)
+	if c != 0 {
+		return c < 0
+	}
+	return i < j
+}

@@ -1,0 +1,215 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"m3r/internal/engine"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// makeRuns builds k sorted runs with duplicate-heavy keys. Every value is a
+// unique global sequence number so stability violations are observable:
+// with keys drawn from a small space, equal keys must surface in
+// (run index, position within run) order.
+func makeRuns(rng *rand.Rand, k, maxLen, keySpace int) [][]wio.Pair {
+	runs := make([][]wio.Pair, k)
+	seq := 0
+	for i := range runs {
+		n := rng.Intn(maxLen + 1)
+		run := make([]wio.Pair, 0, n)
+		for j := 0; j < n; j++ {
+			run = append(run, wio.Pair{
+				Key:   types.NewInt(int32(rng.Intn(keySpace))),
+				Value: types.NewLong(int64(seq)),
+			})
+			seq++
+		}
+		engine.SortPairs(run, wio.NaturalOrder{})
+		runs[i] = run
+	}
+	return runs
+}
+
+// sortedReference reproduces the engine's former reduce path: concatenate
+// the runs in order and stable-sort the whole partition.
+func sortedReference(runs [][]wio.Pair, cmp wio.Comparator) []wio.Pair {
+	var all []wio.Pair
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	engine.SortPairs(all, cmp)
+	return all
+}
+
+func pairBytes(t *testing.T, p wio.Pair) ([]byte, []byte) {
+	t.Helper()
+	kb, err := wio.Marshal(p.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := wio.Marshal(p.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb, vb
+}
+
+// requireIdentical asserts got is byte-identical to want, the acceptance
+// bar for swapping MergeRuns in for the old sort: reducers must observe
+// exactly the same input sequence.
+func requireIdentical(t *testing.T, want, got []wio.Pair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("length mismatch: want %d pairs, got %d", len(want), len(got))
+	}
+	for i := range want {
+		wk, wv := pairBytes(t, want[i])
+		gk, gv := pairBytes(t, got[i])
+		if string(wk) != string(gk) || string(wv) != string(gv) {
+			t.Fatalf("pair %d differs: want (%x,%x), got (%x,%x)", i, wk, wv, gk, gv)
+		}
+	}
+}
+
+// TestMergeRunsMatchesSort is the property test for the loser-tree merge:
+// over many random shapes (run counts, lengths, duplicate densities), the
+// merged output must be byte-identical to the old concatenate-and-stable-
+// sort path.
+func TestMergeRunsMatchesSort(t *testing.T) {
+	cmp := types.IntRawComparator{}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(9)
+		keySpace := 1 + rng.Intn(12) // small: lots of cross-run duplicates
+		t.Run(fmt.Sprintf("seed%d_k%d_keys%d", seed, k, keySpace), func(t *testing.T) {
+			runs := makeRuns(rng, k, 64, keySpace)
+			want := sortedReference(runs, cmp)
+			got := engine.MergeRuns(runs, cmp)
+			requireIdentical(t, want, got)
+		})
+	}
+}
+
+// TestMergeRunsAllEqualKeys pins the pure-stability case: every key equal,
+// so the output must be exactly the runs concatenated in order.
+func TestMergeRunsAllEqualKeys(t *testing.T) {
+	var runs [][]wio.Pair
+	seq := 0
+	for i := 0; i < 5; i++ {
+		var run []wio.Pair
+		for j := 0; j <= i; j++ {
+			run = append(run, wio.Pair{
+				Key:   types.NewInt(7),
+				Value: types.NewLong(int64(seq)),
+			})
+			seq++
+		}
+		runs = append(runs, run)
+	}
+	got := engine.MergeRuns(runs, types.IntRawComparator{})
+	if len(got) != seq {
+		t.Fatalf("want %d pairs, got %d", seq, len(got))
+	}
+	for i, p := range got {
+		if v := p.Value.(*types.LongWritable).Get(); v != int64(i) {
+			t.Fatalf("stability broken at %d: got value %d", i, v)
+		}
+	}
+}
+
+// TestMergeRunsEdges covers the degenerate shapes: no runs, all-empty
+// runs, a single run, and interleaved empty runs.
+func TestMergeRunsEdges(t *testing.T) {
+	cmp := types.IntRawComparator{}
+	if got := engine.MergeRuns(nil, cmp); len(got) != 0 {
+		t.Errorf("nil runs: want empty, got %d pairs", len(got))
+	}
+	if got := engine.MergeRuns([][]wio.Pair{nil, {}, nil}, cmp); len(got) != 0 {
+		t.Errorf("empty runs: want empty, got %d pairs", len(got))
+	}
+	single := []wio.Pair{
+		{Key: types.NewInt(1), Value: types.NewLong(10)},
+		{Key: types.NewInt(2), Value: types.NewLong(11)},
+	}
+	got := engine.MergeRuns([][]wio.Pair{nil, single, nil}, cmp)
+	requireIdentical(t, single, got)
+
+	rng := rand.New(rand.NewSource(99))
+	runs := makeRuns(rng, 6, 16, 4)
+	runs[0], runs[3] = nil, nil // force empty-run compaction mid-slice
+	want := sortedReference(runs, cmp)
+	got = engine.MergeRuns(runs, cmp)
+	requireIdentical(t, want, got)
+}
+
+// TestMergeRunsSkewedLengths exercises exhaustion handling: one long run
+// against several short ones, so most leaves die early and the tree must
+// keep draining the survivor.
+func TestMergeRunsSkewedLengths(t *testing.T) {
+	cmp := types.IntRawComparator{}
+	rng := rand.New(rand.NewSource(7))
+	long := make([]wio.Pair, 0, 512)
+	seq := 0
+	for i := 0; i < 512; i++ {
+		long = append(long, wio.Pair{
+			Key:   types.NewInt(int32(rng.Intn(8))),
+			Value: types.NewLong(int64(seq)),
+		})
+		seq++
+	}
+	engine.SortPairs(long, wio.NaturalOrder{})
+	runs := [][]wio.Pair{long}
+	for i := 0; i < 4; i++ {
+		runs = append(runs, []wio.Pair{{
+			Key:   types.NewInt(int32(i * 2)),
+			Value: types.NewLong(int64(seq)),
+		}})
+		seq++
+	}
+	want := sortedReference(runs, cmp)
+	// sortedReference mutated nothing run-internal, but MergeRuns compacts
+	// the outer slice; hand it a copy to keep `runs` reusable above.
+	got := engine.MergeRuns(append([][]wio.Pair(nil), runs...), cmp)
+	requireIdentical(t, want, got)
+}
+
+// BenchmarkSortVsMerge compares the old reduce-side path (concatenate all
+// runs, stable-sort the partition) against the run-based path (k-way
+// loser-tree merge of map-side-sorted runs) on identical input.
+func BenchmarkSortVsMerge(b *testing.B) {
+	const runCount, runLen = 16, 4096
+	cmp := types.IntRawComparator{}
+	rng := rand.New(rand.NewSource(1))
+	runs := make([][]wio.Pair, runCount)
+	for i := range runs {
+		run := make([]wio.Pair, 0, runLen)
+		for j := 0; j < runLen; j++ {
+			run = append(run, wio.Pair{
+				Key:   types.NewInt(rng.Int31()),
+				Value: types.NewLong(int64(i*runLen + j)),
+			})
+		}
+		engine.SortPairs(run, cmp)
+		runs[i] = run
+	}
+
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			all := make([]wio.Pair, 0, runCount*runLen)
+			for _, r := range runs {
+				all = append(all, r...)
+			}
+			engine.SortPairs(all, cmp)
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.MergeRuns(append([][]wio.Pair(nil), runs...), cmp)
+		}
+	})
+}

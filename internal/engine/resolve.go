@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"m3r/internal/conf"
-	"m3r/internal/counters"
 	"m3r/internal/formats"
 	"m3r/internal/hmrext"
 	"m3r/internal/mapred"
@@ -132,9 +131,14 @@ func Resolve(job *conf.JobConf) (*ResolvedJob, error) {
 		return part
 	}
 
-	// Comparators: explicit sort comparator, else the key's natural order;
-	// grouping comparator defaults to the sort comparator (§1: M3R supports
-	// user-specified sorting and grouping comparators).
+	// Comparators: explicit sort comparator, else the key type's registered
+	// raw comparator, else the key's natural order; grouping comparator
+	// defaults to the sort comparator (§1: M3R supports user-specified
+	// sorting and grouping comparators). Wiring the raw comparator into
+	// SortCmp is the fast path for standard key types: its Compare is
+	// specialized to the concrete key type (no Comparable-interface hop),
+	// and its CompareRaw orders serialized keys without deserializing —
+	// the Hadoop engine's spill sort and merge use it directly.
 	rj.SortCmp = wio.NaturalOrder{}
 	if name := job.Get(conf.KeySortComparatorClass); name != "" {
 		c, err := registry.New(registry.KindComparator, name)
@@ -145,6 +149,7 @@ func Resolve(job *conf.JobConf) (*ResolvedJob, error) {
 	} else if kc := job.MapOutputKeyClass(); kc != "" {
 		if raw := rawComparatorFor(kc); raw != nil {
 			rj.RawSortCmp = raw
+			rj.SortCmp = raw
 		}
 	}
 	rj.GroupCmp = rj.SortCmp
@@ -397,8 +402,9 @@ func (r *oldMapRun) RunPairs(pairs []wio.Pair, out mapred.OutputCollector, ctx *
 		}
 		return r.runner.Run(reader, out, ctx)
 	}
+	inputCell := ctx.Cells.MapInputRecords
 	for _, p := range pairs {
-		ctx.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		inputCell.Increment(1)
 		if err := mapper.Map(p.Key, p.Value, out, ctx); err != nil {
 			return err
 		}
@@ -432,6 +438,7 @@ func (r *newMapRun) Run(reader formats.RecordReader, out mapred.OutputCollector,
 	}
 	key := reader.CreateKey()
 	value := reader.CreateValue()
+	inputCell := ctx.Cells.MapInputRecords
 	for {
 		if r.freshInputs {
 			key = reader.CreateKey()
@@ -444,7 +451,7 @@ func (r *newMapRun) Run(reader formats.RecordReader, out mapred.OutputCollector,
 		if !ok {
 			break
 		}
-		ctx.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		inputCell.Increment(1)
 		if err := r.mapper.Map(key, value, ctx); err != nil {
 			return err
 		}
@@ -459,8 +466,9 @@ func (r *newMapRun) RunPairs(pairs []wio.Pair, out mapred.OutputCollector, ctx *
 	if err := r.mapper.Setup(ctx); err != nil {
 		return err
 	}
+	inputCell := ctx.Cells.MapInputRecords
 	for _, p := range pairs {
-		ctx.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		inputCell.Increment(1)
 		if err := r.mapper.Map(p.Key, p.Value, ctx); err != nil {
 			return err
 		}

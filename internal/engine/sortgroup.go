@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"m3r/internal/counters"
 	"m3r/internal/mapred"
@@ -10,10 +10,11 @@ import (
 
 // SortPairs stably sorts pairs by key with cmp. Stability matters: Hadoop
 // preserves the map-output order of equal keys within one task, and tests
-// rely on deterministic output.
+// rely on deterministic output. slices.SortStableFunc keeps the hot sort
+// free of sort.SliceStable's per-call reflect.Swapper allocation.
 func SortPairs(pairs []wio.Pair, cmp wio.Comparator) {
-	sort.SliceStable(pairs, func(i, j int) bool {
-		return cmp.Compare(pairs[i].Key, pairs[j].Key) < 0
+	slices.SortStableFunc(pairs, func(a, b wio.Pair) int {
+		return cmp.Compare(a.Key, b.Key)
 	})
 }
 
@@ -39,9 +40,9 @@ func (s *sliceValues) Next() (wio.Writable, bool) {
 // of the reducer ones.
 func DriveReduce(run ReduceRun, groupCmp wio.Comparator, pairs []wio.Pair,
 	out mapred.OutputCollector, ctx *TaskContext, combine bool) error {
-	groupCounter, recordCounter := counters.ReduceInputGroups, counters.ReduceInputRecords
+	groupCell, recordCell := ctx.Cells.ReduceInputGroups, ctx.Cells.ReduceInputRecords
 	if combine {
-		groupCounter, recordCounter = "", counters.CombineInputRecords
+		groupCell, recordCell = nil, ctx.Cells.CombineInputRecords
 	}
 	i := 0
 	for i < len(pairs) {
@@ -49,10 +50,10 @@ func DriveReduce(run ReduceRun, groupCmp wio.Comparator, pairs []wio.Pair,
 		for j < len(pairs) && groupCmp.Compare(pairs[i].Key, pairs[j].Key) == 0 {
 			j++
 		}
-		if groupCounter != "" {
-			ctx.IncrCounter(counters.TaskGroup, groupCounter, 1)
+		if groupCell != nil {
+			groupCell.Increment(1)
 		}
-		ctx.IncrCounter(counters.TaskGroup, recordCounter, int64(j-i))
+		recordCell.Increment(int64(j - i))
 		values := &sliceValues{pairs: pairs, pos: i, end: j}
 		if err := run.Reduce(pairs[i].Key, values, out, ctx); err != nil {
 			return err

@@ -68,6 +68,7 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 	buf.cmp = rawCmp
 	partitioner := r.rj.NewPartitioner()
 
+	outputCell, bytesCell := ctx.Cells.MapOutputRecords, ctx.Cells.MapOutputBytes
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
 		p := partitioner.GetPartition(key, value, r.rj.NumReducers)
 		if p < 0 || p >= r.rj.NumReducers {
@@ -78,8 +79,8 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 		if err != nil {
 			return err
 		}
-		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
-		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputBytes, int64(len(kb)+len(vb)))
+		outputCell.Increment(1)
+		bytesCell.Increment(int64(len(kb) + len(vb)))
 		return buf.add(p, rec{k: kb, v: vb})
 	})
 
@@ -117,8 +118,9 @@ func (r *jobRun) runMapOnlyTask(t *pendingTask, taskID string,
 		}
 		writer = w
 	}
+	outputCell := ctx.Cells.MapOutputRecords
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
-		ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+		outputCell.Increment(1)
 		return writer.Write(key, value)
 	})
 	if err := runner.Run(reader, collector, ctx); err != nil {
@@ -212,7 +214,7 @@ func (b *sortBuffer) spill() error {
 	}
 	b.bytes = 0
 	b.spills = append(b.spills, spillFile{path: path, segments: segments})
-	b.ctx.IncrCounter(counters.TaskGroup, counters.SpilledRecords, spilled)
+	b.ctx.Cells.SpilledRecords.Increment(spilled)
 	stats := b.run.engine.stats
 	stats.Add(sim.SpillBytes, off)
 	stats.Add(sim.SpillFiles, 1)

@@ -89,8 +89,9 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 		}
 		writer = w
 	}
+	outputCell := ctx.Cells.ReduceOutputRecords
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
-		ctx.IncrCounter(counters.TaskGroup, counters.ReduceOutputRecords, 1)
+		outputCell.Increment(1)
 		return writer.Write(key, value)
 	})
 
@@ -215,7 +216,7 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 			return err
 		}
 		groupKeyBytes := append([]byte(nil), cur.k...)
-		ctx.IncrCounter(counters.TaskGroup, counters.ReduceInputGroups, 1)
+		ctx.Cells.ReduceInputGroups.Increment(1)
 		it := &mergeValues{
 			run: r, m: m, cur: &cur, ok: &ok,
 			groupKey: groupKey, groupKeyBytes: groupKeyBytes,
@@ -286,7 +287,7 @@ func (it *mergeValues) Next() (wio.Writable, bool) {
 		it.err = err
 		return nil, false
 	}
-	it.ctx.IncrCounter(counters.TaskGroup, counters.ReduceInputRecords, 1)
+	it.ctx.Cells.ReduceInputRecords.Increment(1)
 	next, ok, err := it.m.next()
 	if err != nil {
 		it.err = err

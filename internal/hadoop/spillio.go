@@ -2,12 +2,11 @@ package hadoop
 
 import (
 	"bufio"
-	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 
 	"m3r/internal/wio"
 )
@@ -111,80 +110,117 @@ func (s *recStream) close() error { return s.f.Close() }
 
 // sortRecs orders serialized records by key with the raw comparator,
 // stably (Hadoop preserves input order among equal keys within a task).
+// Raw comparison plus the allocation-free slices sort keeps the spill sort
+// off both the deserializer and the garbage collector.
 func sortRecs(recs []rec, cmp wio.RawComparator) {
-	sort.SliceStable(recs, func(i, j int) bool {
-		return cmp.CompareRaw(recs[i].k, recs[j].k) < 0
+	slices.SortStableFunc(recs, func(a, b rec) int {
+		return cmp.CompareRaw(a.k, b.k)
 	})
 }
 
-// mergeItem is one stream's head record inside the merge heap.
-type mergeItem struct {
-	r   rec
-	src int
-}
-
-// mergeHeap is the k-way merge over sorted record streams, Hadoop's
-// out-of-core merge. Ties break by stream index for determinism.
-type mergeHeap struct {
-	items []mergeItem
-	cmp   wio.RawComparator
-}
-
-func (h *mergeHeap) Len() int { return len(h.items) }
-func (h *mergeHeap) Less(i, j int) bool {
-	c := h.cmp.CompareRaw(h.items[i].r.k, h.items[j].r.k)
-	if c != 0 {
-		return c < 0
-	}
-	return h.items[i].src < h.items[j].src
-}
-func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
-}
-
 // merger streams the union of several sorted segments in sorted order.
+// It is a tournament tree of losers over the streams' head records, the
+// same structure engine.MergeRuns uses for in-memory runs: each internal
+// node stores the losing stream, the winner sits at tree[0], and advancing
+// replays one leaf-to-root path — ceil(log2 k) raw-key comparisons per
+// record with no heap push/pop bookkeeping or interface dispatch. Ties
+// break by stream index for determinism.
 type merger struct {
 	streams []*recStream
-	h       *mergeHeap
+	heads   []rec
+	live    []bool
+	tree    []int
+	cmp     wio.RawComparator
+	k       int
 }
 
 // newMerger opens a merge over the given streams.
 func newMerger(streams []*recStream, cmp wio.RawComparator) (*merger, error) {
-	m := &merger{streams: streams, h: &mergeHeap{cmp: cmp}}
+	k := len(streams)
+	m := &merger{
+		streams: streams,
+		heads:   make([]rec, k),
+		live:    make([]bool, k),
+		tree:    make([]int, k),
+		cmp:     cmp,
+		k:       k,
+	}
 	for i, s := range streams {
 		r, ok, err := s.next()
 		if err != nil {
 			m.close()
 			return nil, err
 		}
-		if ok {
-			m.h.items = append(m.h.items, mergeItem{r: r, src: i})
+		m.heads[i], m.live[i] = r, ok
+	}
+	if k == 0 {
+		return m, nil
+	}
+	if k == 1 {
+		m.tree[0] = 0
+		return m, nil
+	}
+	// Bottom-up build: leaf i sits at conceptual node k+i; every internal
+	// node 1..k-1 plays its children's winners, keeps the loser, and sends
+	// the winner up; tree[0] holds the champion.
+	winner := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		winner[k+i] = i
+	}
+	for n := k - 1; n >= 1; n-- {
+		a, b := winner[2*n], winner[2*n+1]
+		if m.wins(a, b) {
+			winner[n], m.tree[n] = a, b
+		} else {
+			winner[n], m.tree[n] = b, a
 		}
 	}
-	heap.Init(m.h)
+	m.tree[0] = winner[1]
 	return m, nil
+}
+
+// wins reports whether stream i's head should be emitted before stream j's:
+// an exhausted stream loses to any live one, raw key order decides
+// otherwise, and ties go to the lower stream index.
+func (m *merger) wins(i, j int) bool {
+	if !m.live[i] {
+		return !m.live[j] && i < j
+	}
+	if !m.live[j] {
+		return true
+	}
+	c := m.cmp.CompareRaw(m.heads[i].k, m.heads[j].k)
+	if c != 0 {
+		return c < 0
+	}
+	return i < j
 }
 
 // next returns the globally next record in sort order.
 func (m *merger) next() (rec, bool, error) {
-	if m.h.Len() == 0 {
+	if m.k == 0 {
 		return rec{}, false, nil
 	}
-	it := heap.Pop(m.h).(mergeItem)
-	r, ok, err := m.streams[it.src].next()
+	w := m.tree[0]
+	if !m.live[w] {
+		// The champion is exhausted; every stream is.
+		return rec{}, false, nil
+	}
+	out := m.heads[w]
+	r, ok, err := m.streams[w].next()
 	if err != nil {
 		return rec{}, false, err
 	}
-	if ok {
-		heap.Push(m.h, mergeItem{r: r, src: it.src})
+	m.heads[w], m.live[w] = r, ok
+	// Replay the matches on leaf w's path to the root.
+	cur := w
+	for n := (m.k + w) / 2; n >= 1; n /= 2 {
+		if m.wins(m.tree[n], cur) {
+			m.tree[n], cur = cur, m.tree[n]
+		}
 	}
-	return it.r, true, nil
+	m.tree[0] = cur
+	return out, true, nil
 }
 
 func (m *merger) close() {

@@ -2,7 +2,7 @@ package m3r
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,7 +184,7 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	assignments := x.plan(splits)
 
 	for i := 0; i < rj.NumReducers; i++ {
-		x.parts = append(x.parts, &partitionInput{bySrc: make(map[int][][]wio.Pair)})
+		x.parts = append(x.parts, &partitionInput{})
 	}
 
 	if err := x.run(assignments); err != nil {
@@ -339,10 +339,13 @@ func (x *jobExec) run(assignments []*mapAssignment) error {
 			if mapFailed.Load() {
 				return nil // another place failed; the job is already lost
 			}
-			// Reduce phase: this place owns partitions q with stable
-			// mapping q -> q % P.
+			// Reduce phase: this place owns the partitions the stable
+			// mapping assigns to it (§3.2.2.2).
 			rinner := x10.NewFinish()
-			for q := p; q < x.rj.NumReducers; q += P {
+			for q := 0; q < x.rj.NumReducers; q++ {
+				if e.PlaceOfPartition(q) != p {
+					continue
+				}
 				q := q
 				rinner.Async(func() error {
 					var err error
@@ -463,59 +466,88 @@ func runPairs(mr engine.MapRun, pairs []wio.Pair, out mapredCollector, ctx *engi
 	return fmt.Errorf("m3r: map runner %T cannot consume cached pairs", mr)
 }
 
+// pairScratchPool recycles the growth buffers materialize appends into, so
+// steady-state job sequences stop paying the doubling-garbage of reading
+// splits of similar size over and over.
+var pairScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]wio.Pair, 0, 1024)
+		return &s
+	},
+}
+
 // materialize reads a whole split with fresh holders per record, producing
-// the key/value sequence the cache retains.
+// the key/value sequence the cache retains. It appends into a pooled
+// scratch buffer and copies into an exactly-sized slice at the end — the
+// cache retains the result indefinitely, so the returned slice must not
+// alias pooled storage.
 func materialize(reader formats.RecordReader) ([]wio.Pair, error) {
-	var out []wio.Pair
+	sp := pairScratchPool.Get().(*[]wio.Pair)
+	scratch := (*sp)[:0]
+	release := func() {
+		clear(scratch) // drop object references so the pool pins nothing
+		*sp = scratch[:0]
+		pairScratchPool.Put(sp)
+	}
 	for {
 		k := reader.CreateKey()
 		v := reader.CreateValue()
 		ok, err := reader.Next(k, v)
 		if err != nil {
+			release()
 			return nil, err
 		}
 		if !ok {
+			out := make([]wio.Pair, len(scratch))
+			copy(out, scratch)
+			release()
 			return out, nil
 		}
-		out = append(out, wio.Pair{Key: k, Value: v})
+		scratch = append(scratch, wio.Pair{Key: k, Value: v})
 	}
 }
 
-// partitionInput accumulates one reduce partition's shuffled pairs, keyed
-// by source map task so reduce input order is deterministic.
+// partitionInput accumulates one reduce partition's shuffled input as
+// sorted runs, one per source map task. Map tasks sort their runs map-side
+// (inside the already-parallel map phase, see shuffleCollector.flush), so
+// the reduce task only k-way merges them — the run-based shuffle-and-sort
+// pipeline that keeps the O(n log n) sort off the reduce critical path.
 type partitionInput struct {
-	mu    sync.Mutex
-	bySrc map[int][][]wio.Pair
+	mu   sync.Mutex
+	runs []sourceRun
 }
 
-func (pi *partitionInput) add(src int, pairs []wio.Pair) {
+// sourceRun is one map task's sorted contribution to a partition.
+type sourceRun struct {
+	src   int
+	pairs []wio.Pair
+}
+
+// addRun installs one source task's sorted run. Each map task contributes
+// at most one run per partition (its pairs are either all local or all
+// remote with respect to the partition's place).
+func (pi *partitionInput) addRun(src int, pairs []wio.Pair) {
 	if len(pairs) == 0 {
 		return
 	}
 	pi.mu.Lock()
-	pi.bySrc[src] = append(pi.bySrc[src], pairs)
+	pi.runs = append(pi.runs, sourceRun{src: src, pairs: pairs})
 	pi.mu.Unlock()
 }
 
-// gather concatenates all sources' batches in task order.
-func (pi *partitionInput) gather() []wio.Pair {
+// takeRuns returns the accumulated runs ordered by source task, detaching
+// them from the partition. Source order is the merge's stability tie-break:
+// equal keys surface in map-task order, exactly as the old concatenate-
+// then-stable-sort path produced them.
+func (pi *partitionInput) takeRuns() [][]wio.Pair {
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
-	srcs := make([]int, 0, len(pi.bySrc))
-	total := 0
-	for s, batches := range pi.bySrc {
-		srcs = append(srcs, s)
-		for _, b := range batches {
-			total += len(b)
-		}
+	slices.SortStableFunc(pi.runs, func(a, b sourceRun) int { return a.src - b.src })
+	out := make([][]wio.Pair, len(pi.runs))
+	for i, r := range pi.runs {
+		out[i] = r.pairs
 	}
-	sort.Ints(srcs)
-	out := make([]wio.Pair, 0, total)
-	for _, s := range srcs {
-		for _, b := range pi.bySrc[s] {
-			out = append(out, b...)
-		}
-	}
+	pi.runs = nil
 	return out
 }
 
@@ -534,9 +566,9 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	ctx := engine.NewTaskContext(taskJob, taskID, nil)
 	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedReduces, 1)
 
-	pairs := x.parts[q].gather()
-	// The HMR API promises reducers sorted input even in memory.
-	engine.SortPairs(pairs, x.rj.SortCmp)
+	// The HMR API promises reducers sorted input even in memory. Map tasks
+	// shipped sorted runs; merge them stably instead of re-sorting.
+	pairs := engine.MergeRuns(x.parts[q].takeRuns(), x.rj.SortCmp)
 
 	reducer := x.rj.NewReduceRun()
 	reducer.Configure(taskJob)
@@ -571,17 +603,18 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 		}
 	}
 
+	cells := &ctx.Cells
 	collector := mapredCollector{collectFunc(func(k, v wio.Writable) error {
-		ctx.IncrCounter(counters.TaskGroup, counters.ReduceOutputRecords, 1)
+		cells.ReduceOutputRecords.Increment(1)
 		if cacheW != nil {
 			ck, cv := k, v
 			if !x.rj.ReduceImmutable {
 				ck, cv = wio.MustClone(k), wio.MustClone(v)
 				e.stats.Add(sim.ClonedPairs, 1)
-				ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+				cells.ClonedPairs.Increment(1)
 			} else {
 				e.stats.Add(sim.AliasedPairs, 1)
-				ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+				cells.AliasedPairs.Increment(1)
 			}
 			cacheW.Append(wio.Pair{Key: ck, Value: cv})
 		}

@@ -3,6 +3,7 @@ package m3r
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"m3r/internal/conf"
 	"m3r/internal/counters"
@@ -25,6 +26,11 @@ import (
 //     broadcast value crosses the wire once per place (§3.2.2.3);
 //   - with a combiner configured, pairs are buffered per partition and
 //     combined before delivery.
+//
+// At flush, every per-partition batch is sorted map-side before it is
+// installed as a run in the partition's input: map tasks already run in
+// parallel, so the sort rides the map phase's parallelism and the reduce
+// task only has to k-way merge the runs (see engine.MergeRuns).
 type shuffleCollector struct {
 	x     *jobExec
 	ctx   *engine.TaskContext
@@ -34,6 +40,10 @@ type shuffleCollector struct {
 
 	partitioner mapred.Partitioner
 	immutable   bool
+	// placeOf maps partition -> place, precomputed from the engine's
+	// PlaceOfPartition so the §3.2.2.2 stability guarantee lives in exactly
+	// one place and the hot path pays an array index, not a division.
+	placeOf []int
 
 	// Non-combiner path.
 	localBufs map[int][]wio.Pair
@@ -44,10 +54,18 @@ type shuffleCollector struct {
 }
 
 // destEncoder accumulates the encoded stream for one destination place.
+// Its byte buffer comes from encodeBufPool and returns there at flush.
 type destEncoder struct {
-	buf bytes.Buffer
+	buf *bytes.Buffer
 	enc *wio.Encoder
 	n   int
+}
+
+// encodeBufPool recycles the remote shuffle's encode buffers across map
+// tasks and jobs; steady-state sequences reuse the grown buffers instead of
+// re-paying their allocation every task.
+var encodeBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
 }
 
 func (x *jobExec) newShuffleCollector(a *mapAssignment, ctx *engine.TaskContext) *shuffleCollector {
@@ -63,6 +81,10 @@ func (x *jobExec) newShuffleCollector(a *mapAssignment, ctx *engine.TaskContext)
 		localBufs:   make(map[int][]wio.Pair),
 		encoders:    make(map[int]*destEncoder),
 	}
+	sc.placeOf = make([]int, sc.R)
+	for q := range sc.placeOf {
+		sc.placeOf[q] = x.e.PlaceOfPartition(q)
+	}
 	if x.rj.HasCombiner {
 		sc.combineBufs = make([][]wio.Pair, sc.R)
 	}
@@ -75,7 +97,7 @@ func (sc *shuffleCollector) Collect(key, value wio.Writable) error {
 	if q < 0 || q >= sc.R {
 		return fmt.Errorf("m3r: partitioner returned %d of %d", q, sc.R)
 	}
-	sc.ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+	sc.ctx.Cells.MapOutputRecords.Increment(1)
 	if sc.combineBufs != nil {
 		// Buffer for the combiner; the mapper may reuse its objects, so
 		// unmarked map sides pay a clone here.
@@ -94,17 +116,17 @@ func (sc *shuffleCollector) Collect(key, value wio.Writable) error {
 
 func (sc *shuffleCollector) countClone() {
 	sc.x.e.stats.Add(sim.ClonedPairs, 1)
-	sc.ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+	sc.ctx.Cells.ClonedPairs.Increment(1)
 }
 
 func (sc *shuffleCollector) countAlias() {
 	sc.x.e.stats.Add(sim.AliasedPairs, 1)
-	sc.ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+	sc.ctx.Cells.AliasedPairs.Increment(1)
 }
 
 // deliver routes one pair to its partition's place.
 func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bool) error {
-	d := q % sc.P
+	d := sc.placeOf[q]
 	if d == sc.place {
 		// Co-located: no serialization ever (§3.2.2.1); clone only to
 		// protect against output reuse (§4.1).
@@ -116,7 +138,7 @@ func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bo
 			sc.countAlias()
 		}
 		sc.localBufs[q] = append(sc.localBufs[q], wio.Pair{Key: k, Value: v})
-		sc.ctx.IncrCounter(counters.M3RGroup, counters.LocalShufflePairs, 1)
+		sc.ctx.Cells.LocalShufflePairs.Increment(1)
 		sc.x.e.stats.Add(sim.LocalPairs, 1)
 		return nil
 	}
@@ -129,8 +151,8 @@ func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bo
 	// unmarked output is copied before the serializer ever sees it.
 	de := sc.encoders[d]
 	if de == nil {
-		de = &destEncoder{}
-		de.enc = wio.NewEncoder(&de.buf, sc.x.dedup && immutable)
+		de = &destEncoder{buf: encodeBufPool.Get().(*bytes.Buffer)}
+		de.enc = wio.NewEncoder(de.buf, sc.x.dedup && immutable)
 		sc.encoders[d] = de
 	}
 	if err := de.enc.EncodeUvarint(uint64(q)); err != nil {
@@ -140,14 +162,14 @@ func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bo
 		return err
 	}
 	de.n++
-	sc.ctx.IncrCounter(counters.M3RGroup, counters.RemoteShufflePairs, 1)
+	sc.ctx.Cells.RemoteShufflePairs.Increment(1)
 	return nil
 }
 
-// flush completes the task's shuffle: run the combiner if configured,
-// install local buffers into their partitions, and ship each remote buffer
-// (decode on the destination side yields fresh objects, with dedup aliases
-// for repeated values).
+// flush completes the task's shuffle: run the combiner if configured, sort
+// each per-partition batch map-side, install the sorted runs into their
+// partitions, and ship each remote buffer (decode on the destination side
+// yields fresh objects, with dedup aliases for repeated values).
 func (sc *shuffleCollector) flush() error {
 	if sc.combineBufs != nil {
 		for q, buf := range sc.combineBufs {
@@ -169,8 +191,14 @@ func (sc *shuffleCollector) flush() error {
 			sc.combineBufs[q] = nil
 		}
 	}
+	// Local batches become sorted runs here, on the map task's worker —
+	// after a combiner pass they arrive already sorted (key-preserving
+	// combiners keep Combine's sort order) and the stable sort degenerates
+	// to a cheap verification pass.
+	sortCmp := sc.x.rj.SortCmp
 	for q, pairs := range sc.localBufs {
-		sc.x.parts[q].add(sc.src, pairs)
+		engine.SortPairs(pairs, sortCmp)
+		sc.x.parts[q].addRun(sc.src, pairs)
 	}
 	sc.localBufs = nil
 
@@ -203,8 +231,12 @@ func (sc *shuffleCollector) flush() error {
 			q := int(qv)
 			byPartition[q] = append(byPartition[q], pair)
 		}
+		de.buf.Reset()
+		encodeBufPool.Put(de.buf)
+		de.buf, de.enc = nil, nil
 		for q, pairs := range byPartition {
-			sc.x.parts[q].add(sc.src, pairs)
+			engine.SortPairs(pairs, sortCmp)
+			sc.x.parts[q].addRun(sc.src, pairs)
 		}
 	}
 	sc.encoders = nil
@@ -262,16 +294,16 @@ func (x *jobExec) newMapOnlyCollector(a *mapAssignment, taskJob *conf.JobConf, c
 
 // Collect implements the collector contract.
 func (moc *mapOnlyCollector) Collect(key, value wio.Writable) error {
-	moc.ctx.IncrCounter(counters.TaskGroup, counters.MapOutputRecords, 1)
+	moc.ctx.Cells.MapOutputRecords.Increment(1)
 	if moc.cacheW != nil {
 		k, v := key, value
 		if !moc.immutable {
 			k, v = wio.MustClone(key), wio.MustClone(value)
 			moc.x.e.stats.Add(sim.ClonedPairs, 1)
-			moc.ctx.IncrCounter(counters.M3RGroup, counters.ClonedPairs, 1)
+			moc.ctx.Cells.ClonedPairs.Increment(1)
 		} else {
 			moc.x.e.stats.Add(sim.AliasedPairs, 1)
-			moc.ctx.IncrCounter(counters.M3RGroup, counters.AliasedPairs, 1)
+			moc.ctx.Cells.AliasedPairs.Increment(1)
 		}
 		moc.cacheW.Append(wio.Pair{Key: k, Value: v})
 	}

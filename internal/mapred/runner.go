@@ -50,6 +50,7 @@ func (r *MapRunner) Mapper() Mapper { return r.mapper }
 func (r *MapRunner) Run(reader formats.RecordReader, output OutputCollector, reporter Reporter) error {
 	key := reader.CreateKey()
 	value := reader.CreateValue()
+	inputCell := reporter.Counter(counters.TaskGroup, counters.MapInputRecords)
 	for {
 		ok, err := reader.Next(key, value)
 		if err != nil {
@@ -58,7 +59,7 @@ func (r *MapRunner) Run(reader formats.RecordReader, output OutputCollector, rep
 		if !ok {
 			break
 		}
-		reporter.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		inputCell.Increment(1)
 		if err := r.mapper.Map(key, value, output, reporter); err != nil {
 			return err
 		}
@@ -96,6 +97,7 @@ func (*ImmutableMapRunner) AssertImmutableOutput() {}
 
 // Run implements MapRunnable, allocating per-record holders.
 func (r *ImmutableMapRunner) Run(reader formats.RecordReader, output OutputCollector, reporter Reporter) error {
+	inputCell := reporter.Counter(counters.TaskGroup, counters.MapInputRecords)
 	for {
 		key := reader.CreateKey()
 		value := reader.CreateValue()
@@ -106,7 +108,7 @@ func (r *ImmutableMapRunner) Run(reader formats.RecordReader, output OutputColle
 		if !ok {
 			break
 		}
-		reporter.IncrCounter(counters.TaskGroup, counters.MapInputRecords, 1)
+		inputCell.Increment(1)
 		if err := r.mapper.Map(key, value, output, reporter); err != nil {
 			return err
 		}
