@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"m3r/internal/conf"
 	"m3r/internal/engine"
 	"m3r/internal/lab"
 	"m3r/internal/matrix"
@@ -30,9 +32,47 @@ var (
 	iterations = flag.Int("iters", 3, "iterations for iterative workloads")
 	useServer  = flag.Bool("server", false, "submit through the TCP jobtracker protocol (server mode)")
 	sizeMB     = flag.Int64("mb", 4, "input size in MB (wordcount)")
+	confProps  propFlags
 )
 
+// propFlags collects repeatable -D key=value job configuration overrides,
+// Hadoop's GenericOptionsParser idiom (e.g. -D m3r.shuffle.budget.bytes=4096).
+type propFlags []string
+
+func (p *propFlags) String() string { return strings.Join(*p, ",") }
+
+func (p *propFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// apply copies the -D overrides into job.
+func (p propFlags) apply(job *conf.JobConf) *conf.JobConf {
+	for _, kv := range p {
+		k, v, _ := strings.Cut(kv, "=")
+		job.Set(k, v)
+	}
+	return job
+}
+
+// confOverrideEngine applies the -D overrides to every job submitted
+// through it, so the flag reaches jobs that workload drivers construct
+// internally (matvec, microbench, the sysml pipelines).
+type confOverrideEngine struct {
+	engine.Engine
+	props propFlags
+}
+
+// Submit implements engine.Engine.
+func (e confOverrideEngine) Submit(job *conf.JobConf) (*engine.Report, error) {
+	return e.Engine.Submit(e.props.apply(job))
+}
+
 func main() {
+	flag.Var(&confProps, "D", "job configuration override key=value (repeatable)")
 	flag.Parse()
 	cluster, err := lab.New(lab.Options{Nodes: *nodes})
 	if err != nil {
@@ -62,6 +102,9 @@ func main() {
 		}
 		fmt.Printf("submitting via server mode (%s)\n", srv.Addr())
 		eng = client
+	}
+	if len(confProps) > 0 {
+		eng = confOverrideEngine{Engine: eng, props: confProps}
 	}
 
 	switch *jobName {

@@ -48,6 +48,13 @@ const (
 	KeyForceHadoop = "m3r.job.force.hadoop"   // submit this job to Hadoop even under M3R
 	KeyM3RDedup    = "m3r.shuffle.dedup"      // default true
 	KeyM3RCache    = "m3r.cache.enabled"      // default true
+	// KeyM3RShuffleBudget bounds, per place, the bytes of shuffled runs the
+	// M3R engine keeps resident (in the Hadoop engine's record-size
+	// accounting); runs beyond it spill to disk in the shared spill record
+	// format and are merged back through stream-backed leaves. Zero or
+	// negative (the default) means unlimited: the paper's pure in-memory
+	// design point.
+	KeyM3RShuffleBudget = "m3r.shuffle.budget.bytes"
 )
 
 // DefaultTempPrefix is the output-basename prefix that marks a path as

@@ -42,6 +42,8 @@ const (
 	// M3R-specific counters.
 	CacheHitSplits     = "CACHE_HIT_SPLITS"
 	CacheMissSplits    = "CACHE_MISS_SPLITS"
+	SpilledRuns        = "SPILLED_RUNS"
+	SpilledBytes       = "SPILLED_BYTES"
 	LocalShufflePairs  = "LOCAL_SHUFFLE_PAIRS"
 	RemoteShufflePairs = "REMOTE_SHUFFLE_PAIRS"
 	RemoteShuffleBytes = "REMOTE_SHUFFLE_BYTES"

@@ -104,6 +104,8 @@ type CounterCells struct {
 	ReduceInputRecords  *counters.Counter
 	ReduceOutputRecords *counters.Counter
 	SpilledRecords      *counters.Counter
+	SpilledRuns         *counters.Counter
+	SpilledBytes        *counters.Counter
 	LocalShufflePairs   *counters.Counter
 	RemoteShufflePairs  *counters.Counter
 	ClonedPairs         *counters.Counter
@@ -120,6 +122,8 @@ func resolveCells(cs *counters.Counters) CounterCells {
 		ReduceInputRecords:  cs.Find(counters.TaskGroup, counters.ReduceInputRecords),
 		ReduceOutputRecords: cs.Find(counters.TaskGroup, counters.ReduceOutputRecords),
 		SpilledRecords:      cs.Find(counters.TaskGroup, counters.SpilledRecords),
+		SpilledRuns:         cs.Find(counters.M3RGroup, counters.SpilledRuns),
+		SpilledBytes:        cs.Find(counters.M3RGroup, counters.SpilledBytes),
 		LocalShufflePairs:   cs.Find(counters.M3RGroup, counters.LocalShufflePairs),
 		RemoteShufflePairs:  cs.Find(counters.M3RGroup, counters.RemoteShufflePairs),
 		ClonedPairs:         cs.Find(counters.M3RGroup, counters.ClonedPairs),

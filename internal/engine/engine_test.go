@@ -158,7 +158,7 @@ func TestDriveReduceGroups(t *testing.T) {
 		collected = append(collected, wio.Pair{Key: k, Value: v})
 		return nil
 	})
-	if err := engine.DriveReduce(run, rj.GroupCmp, pairs, out, ctx, false); err != nil {
+	if err := engine.DriveReduce(run, rj.GroupCmp, engine.SlicePairs(pairs), out, ctx, false); err != nil {
 		t.Fatal(err)
 	}
 	if len(collected) != 3 {

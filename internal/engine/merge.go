@@ -1,25 +1,287 @@
 package engine
 
-import "m3r/internal/wio"
+import (
+	"fmt"
+
+	"m3r/internal/spill"
+	"m3r/internal/wio"
+)
 
 // This file implements the reduce-side k-way merge of the run-based
 // shuffle-and-sort pipeline. Map tasks sort their per-partition output
 // map-side (inside the already-parallel map phase) and ship *sorted runs*;
 // the reduce task then merges the runs in O(n log k) instead of re-sorting
 // the whole partition in O(n log n) — the same structure Hadoop's sorted
-// spill files and out-of-core merge exploit, kept entirely in memory here.
+// spill files and out-of-core merge exploit.
 //
 // The merge is a tournament tree of losers: each internal node stores the
 // run that lost the match at that node, the overall winner sits at the
 // root. Advancing the winner replays exactly one leaf-to-root path
 // (ceil(log2 k) comparisons), with no heap sift-down bookkeeping.
+//
+// Tournament is the single loser-tree implementation in the tree: the M3R
+// engine merges in-memory and spilled shuffle runs through it (MergeRuns,
+// MergeIter), and the Hadoop engine merges spill-file segments through it
+// (internal/hadoop's merger), each instantiating it at their own element
+// type — deserialized pairs there, raw records here — so the tournament
+// logic exists exactly once.
 
-// MergeRuns merges sorted runs into a single sorted slice. Stability
-// contract: runs must be given in source-task order, each run must be
+// Tournament is a loser tree over k ordered sources of T. The caller owns
+// the sources and pushes their head elements in: NewTournament takes every
+// source's primed head, Winner names the source whose head is globally
+// next, and the caller — after consuming that head — either Replaces it
+// with the source's next element or Exhausts the source. Keeping the
+// element pull on the caller's side keeps the per-record path free of
+// indirect advance calls and error plumbing: the tree does comparisons,
+// nothing else.
+//
+// Ties resolve to the lower source index, which is the merge's stability
+// contract: callers present sources in source-task order, so equal keys
+// surface exactly as a stable sort of the concatenation would produce
+// them.
+type Tournament[T any] struct {
+	cmp   func(a, b T) int
+	heads []T
+	live  []bool
+	tree  []int
+	k     int
+}
+
+// NewTournament builds the tree over the primed heads (live[i] false marks
+// a source empty from the start), bottom-up: leaf i sits at conceptual
+// node k+i; every internal node 1..k-1 plays its children's winners, keeps
+// the loser, and sends the winner up; tree[0] holds the champion. It takes
+// ownership of heads and live.
+func NewTournament[T any](heads []T, live []bool, cmp func(a, b T) int) *Tournament[T] {
+	k := len(heads)
+	t := &Tournament[T]{
+		cmp:   cmp,
+		heads: heads,
+		live:  live,
+		tree:  make([]int, max(k, 1)),
+		k:     k,
+	}
+	if k <= 1 {
+		return t
+	}
+	winner := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		winner[k+i] = i
+	}
+	for n := k - 1; n >= 1; n-- {
+		a, b := winner[2*n], winner[2*n+1]
+		if t.wins(a, b) {
+			winner[n], t.tree[n] = a, b
+		} else {
+			winner[n], t.tree[n] = b, a
+		}
+	}
+	t.tree[0] = winner[1]
+	return t
+}
+
+// wins reports whether source i's head should be emitted before source j's:
+// an exhausted source loses to any live one, element order decides
+// otherwise, and ties go to the lower source index (the stability
+// tie-break).
+func (t *Tournament[T]) wins(i, j int) bool {
+	if !t.live[i] {
+		return !t.live[j] && i < j
+	}
+	if !t.live[j] {
+		return true
+	}
+	if c := t.cmp(t.heads[i], t.heads[j]); c != 0 {
+		return c < 0
+	}
+	return i < j
+}
+
+// Winner returns the source holding the globally next element, or ok=false
+// when every source is exhausted (the champion itself is dead).
+func (t *Tournament[T]) Winner() (int, bool) {
+	if t.k == 0 {
+		return -1, false
+	}
+	w := t.tree[0]
+	return w, t.live[w]
+}
+
+// Head returns source i's current head element.
+func (t *Tournament[T]) Head(i int) T { return t.heads[i] }
+
+// Replace installs source w's next head after its previous one was
+// consumed, replaying the matches on leaf w's path to the root.
+func (t *Tournament[T]) Replace(w int, head T) {
+	t.heads[w] = head
+	t.replay(w)
+}
+
+// Exhaust marks source w empty and replays its path. The head slot is
+// zeroed so the tree does not retain the last element.
+func (t *Tournament[T]) Exhaust(w int) {
+	var zero T
+	t.heads[w] = zero
+	t.live[w] = false
+	t.replay(w)
+}
+
+func (t *Tournament[T]) replay(w int) {
+	cur := w
+	for n := (t.k + w) / 2; n >= 1; n /= 2 {
+		if t.wins(t.tree[n], cur) {
+			t.tree[n], cur = cur, t.tree[n]
+		}
+	}
+	t.tree[0] = cur
+}
+
+// RunReader is one sorted run of a reduce partition's input: the in-memory
+// leaf aliases the pairs a map task shipped on-heap, the stream-backed leaf
+// decodes a run the shuffle spilled to disk in the shared spill record
+// format. Both feed the same tournament.
+type RunReader interface {
+	// Next returns the run's next pair, ok=false at the end.
+	Next() (wio.Pair, bool, error)
+	// Close releases any resources backing the run.
+	Close() error
+}
+
+// sliceRunReader is the in-memory leaf.
+type sliceRunReader struct {
+	pairs []wio.Pair
+	pos   int
+}
+
+// NewSliceRunReader returns a RunReader over an in-memory sorted run. The
+// yielded pairs alias the slice (no copies).
+func NewSliceRunReader(pairs []wio.Pair) RunReader {
+	return &sliceRunReader{pairs: pairs}
+}
+
+func (r *sliceRunReader) Next() (wio.Pair, bool, error) {
+	if r.pos >= len(r.pairs) {
+		return wio.Pair{}, false, nil
+	}
+	p := r.pairs[r.pos]
+	r.pos++
+	return p, true, nil
+}
+
+func (r *sliceRunReader) Close() error { return nil }
+
+// RecSource is a stream of serialized spill records (spill.Stream or any
+// equivalent segment reader).
+type RecSource interface {
+	Next() (spill.Rec, bool, error)
+	Close() error
+}
+
+// decodingRunReader is the stream-backed leaf: it deserializes each raw
+// record into fresh writables of the run's declared key/value classes.
+type decodingRunReader struct {
+	src                RecSource
+	keyClass, valClass string
+}
+
+// NewDecodingRunReader returns a RunReader that decodes src's records into
+// fresh keyClass/valClass writables — the stream-backed merge leaf for runs
+// spilled in the shared spill record format.
+func NewDecodingRunReader(src RecSource, keyClass, valClass string) RunReader {
+	return &decodingRunReader{src: src, keyClass: keyClass, valClass: valClass}
+}
+
+func (r *decodingRunReader) Next() (wio.Pair, bool, error) {
+	rec, ok, err := r.src.Next()
+	if err != nil || !ok {
+		return wio.Pair{}, false, err
+	}
+	k, err := wio.New(r.keyClass)
+	if err != nil {
+		return wio.Pair{}, false, err
+	}
+	if err := wio.Unmarshal(rec.K, k); err != nil {
+		return wio.Pair{}, false, fmt.Errorf("engine: spilled run key: %w", err)
+	}
+	v, err := wio.New(r.valClass)
+	if err != nil {
+		return wio.Pair{}, false, err
+	}
+	if err := wio.Unmarshal(rec.V, v); err != nil {
+		return wio.Pair{}, false, fmt.Errorf("engine: spilled run value: %w", err)
+	}
+	return wio.Pair{Key: k, Value: v}, true, nil
+}
+
+func (r *decodingRunReader) Close() error { return r.src.Close() }
+
+// MergeIter streams the merge of sorted runs, in-memory and stream-backed
+// alike, directly into DriveReduce — no materialized merged copy. Stability
+// contract: readers must be given in source-task order, each run must be
 // internally sorted by cmp with equal keys in original emission order, and
-// ties across runs resolve to the lower run index. Under that contract the
-// output is identical to concatenating the runs in order and stable-sorting
-// the result (the engine's former reduce-side sort), so reducers observe
+// ties across runs resolve to the lower reader index. Under that contract
+// the stream is identical to concatenating the runs in order and
+// stable-sorting the result.
+type MergeIter struct {
+	readers []RunReader
+	t       *Tournament[wio.Pair]
+}
+
+// NewMergeIter opens a merge over readers. On error the readers are closed.
+func NewMergeIter(readers []RunReader, cmp wio.Comparator) (*MergeIter, error) {
+	k := len(readers)
+	heads := make([]wio.Pair, k)
+	live := make([]bool, k)
+	for i, r := range readers {
+		h, ok, err := r.Next()
+		if err != nil {
+			for _, r := range readers {
+				r.Close()
+			}
+			return nil, err
+		}
+		heads[i], live[i] = h, ok
+	}
+	t := NewTournament(heads, live, func(a, b wio.Pair) int {
+		return cmp.Compare(a.Key, b.Key)
+	})
+	return &MergeIter{readers: readers, t: t}, nil
+}
+
+// Next implements PairIter.
+func (m *MergeIter) Next() (wio.Pair, bool, error) {
+	w, ok := m.t.Winner()
+	if !ok {
+		return wio.Pair{}, false, nil
+	}
+	out := m.t.Head(w)
+	h, ok, err := m.readers[w].Next()
+	if err != nil {
+		return wio.Pair{}, false, err
+	}
+	if ok {
+		m.t.Replace(w, h)
+	} else {
+		m.t.Exhaust(w)
+	}
+	return out, true, nil
+}
+
+// Close closes every run reader, returning the first error.
+func (m *MergeIter) Close() error {
+	var first error
+	for _, r := range m.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MergeRuns merges sorted in-memory runs into a single sorted slice. It has
+// MergeIter's stability contract, specialized to slice runs: the output is
+// identical to concatenating the runs in order and stable-sorting the
+// result (the engine's former reduce-side sort), so reducers observe
 // byte-identical input order.
 //
 // MergeRuns may compact the runs slice in place (dropping empty runs) and
@@ -44,17 +306,29 @@ func MergeRuns(runs [][]wio.Pair, cmp wio.Comparator) []wio.Pair {
 		return merge2(runs[0], runs[1], cmp)
 	}
 	out := make([]wio.Pair, 0, total)
-	t := newLoserTree(runs, cmp)
+	pos := make([]int, k)
+	heads := make([]wio.Pair, k)
+	live := make([]bool, k)
+	for i, r := range runs {
+		heads[i], live[i] = r[0], true // all runs non-empty after compaction
+	}
+	t := NewTournament(heads, live, func(a, b wio.Pair) int {
+		return cmp.Compare(a.Key, b.Key)
+	})
 	for {
-		w := t.tree[0]
-		p := t.pos[w]
-		if p >= len(t.runs[w]) {
-			// The champion is exhausted; every run is.
+		w, ok := t.Winner()
+		if !ok {
 			return out
 		}
-		out = append(out, t.runs[w][p])
-		t.pos[w] = p + 1
-		t.replay(w)
+		p := pos[w]
+		out = append(out, runs[w][p])
+		p++
+		pos[w] = p
+		if p < len(runs[w]) {
+			t.Replace(w, runs[w][p])
+		} else {
+			t.Exhaust(w)
+		}
 	}
 }
 
@@ -75,72 +349,4 @@ func merge2(a, b []wio.Pair, cmp wio.Comparator) []wio.Pair {
 	}
 	out = append(out, a[i:]...)
 	return append(out, b[j:]...)
-}
-
-// loserTree is the tournament state over k non-empty runs. Leaf i lives at
-// conceptual node k+i; internal nodes 1..k-1 each hold the index of the run
-// that lost there; tree[0] holds the champion.
-type loserTree struct {
-	runs [][]wio.Pair
-	pos  []int
-	tree []int
-	cmp  wio.Comparator
-	k    int
-}
-
-// newLoserTree builds the tree bottom-up: every internal node plays its
-// children's winners, keeps the loser, and sends the winner up.
-func newLoserTree(runs [][]wio.Pair, cmp wio.Comparator) *loserTree {
-	k := len(runs)
-	t := &loserTree{
-		runs: runs,
-		pos:  make([]int, k),
-		tree: make([]int, k),
-		cmp:  cmp,
-		k:    k,
-	}
-	winner := make([]int, 2*k)
-	for i := 0; i < k; i++ {
-		winner[k+i] = i
-	}
-	for n := k - 1; n >= 1; n-- {
-		a, b := winner[2*n], winner[2*n+1]
-		if t.wins(a, b) {
-			winner[n], t.tree[n] = a, b
-		} else {
-			winner[n], t.tree[n] = b, a
-		}
-	}
-	t.tree[0] = winner[1]
-	return t
-}
-
-// replay re-runs the matches on leaf w's path to the root after run w's
-// head advanced, restoring the loser-tree invariant.
-func (t *loserTree) replay(w int) {
-	cur := w
-	for n := (t.k + w) / 2; n >= 1; n /= 2 {
-		if t.wins(t.tree[n], cur) {
-			t.tree[n], cur = cur, t.tree[n]
-		}
-	}
-	t.tree[0] = cur
-}
-
-// wins reports whether run i's head should be emitted before run j's: an
-// exhausted run loses to any live one, key order decides otherwise, and
-// equal keys go to the lower run index (the stability tie-break).
-func (t *loserTree) wins(i, j int) bool {
-	pi, pj := t.pos[i], t.pos[j]
-	if pi >= len(t.runs[i]) {
-		return pj >= len(t.runs[j]) && i < j
-	}
-	if pj >= len(t.runs[j]) {
-		return true
-	}
-	c := t.cmp.Compare(t.runs[i][pi].Key, t.runs[j][pj].Key)
-	if c != 0 {
-		return c < 0
-	}
-	return i < j
 }

@@ -1,11 +1,16 @@
 package engine_test
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"m3r/internal/engine"
+	"m3r/internal/spill"
 	"m3r/internal/types"
 	"m3r/internal/wio"
 )
@@ -212,4 +217,168 @@ func BenchmarkSortVsMerge(b *testing.B) {
 			engine.MergeRuns(append([][]wio.Pair(nil), runs...), cmp)
 		}
 	})
+}
+
+// spillRun serializes one run into the shared spill record format on disk
+// and returns a stream-backed merge leaf for it.
+func spillRun(t *testing.T, dir string, i int, run []wio.Pair) engine.RunReader {
+	t.Helper()
+	recs := make([]spill.Rec, len(run))
+	for j, p := range run {
+		kb, vb := pairBytes(t, p)
+		recs[j] = spill.Rec{K: kb, V: vb}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("run_%d", i))
+	n, err := spill.WriteRunFile(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spill.OpenSegment(path, spill.Segment{Off: 0, Len: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.NewDecodingRunReader(s, types.IntName, types.LongName)
+}
+
+// drainIter collects a MergeIter into a slice.
+func drainIter(t *testing.T, it *engine.MergeIter) []wio.Pair {
+	t.Helper()
+	var out []wio.Pair
+	for {
+		p, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// TestMergeIterMixedRuns is the property test for the unified merger: over
+// random shapes, with a random subset of runs living on disk in the spill
+// record format and the rest in memory, the merged stream must be
+// byte-identical to concatenating all runs in order and stable-sorting —
+// the same contract MergeRuns pins for the all-resident case.
+func TestMergeIterMixedRuns(t *testing.T) {
+	cmp := types.IntRawComparator{}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		k := 1 + rng.Intn(9)
+		keySpace := 1 + rng.Intn(12)
+		t.Run(fmt.Sprintf("seed%d_k%d_keys%d", seed, k, keySpace), func(t *testing.T) {
+			runs := makeRuns(rng, k, 64, keySpace)
+			want := sortedReference(runs, cmp)
+			dir := t.TempDir()
+			readers := make([]engine.RunReader, len(runs))
+			spilled := 0
+			for i, run := range runs {
+				if rng.Intn(2) == 0 {
+					readers[i] = spillRun(t, dir, i, run)
+					spilled++
+				} else {
+					readers[i] = engine.NewSliceRunReader(run)
+				}
+			}
+			if spilled == 0 && k > 1 {
+				readers[0] = spillRun(t, dir, 0, runs[0])
+			}
+			it, err := engine.NewMergeIter(readers, cmp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			requireIdentical(t, want, drainIter(t, it))
+		})
+	}
+}
+
+// TestMergeIterAllSpilledStability pins the pure-stability case across
+// stream-backed leaves: every key equal, so the output must be exactly the
+// runs concatenated in reader order even though every run decodes from
+// disk.
+func TestMergeIterAllSpilledStability(t *testing.T) {
+	dir := t.TempDir()
+	var readers []engine.RunReader
+	seq := 0
+	for i := 0; i < 5; i++ {
+		var run []wio.Pair
+		for j := 0; j <= i; j++ {
+			run = append(run, wio.Pair{
+				Key:   types.NewInt(7),
+				Value: types.NewLong(int64(seq)),
+			})
+			seq++
+		}
+		readers = append(readers, spillRun(t, dir, i, run))
+	}
+	it, err := engine.NewMergeIter(readers, types.IntRawComparator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := drainIter(t, it)
+	if len(got) != seq {
+		t.Fatalf("want %d pairs, got %d", seq, len(got))
+	}
+	for i, p := range got {
+		if v := p.Value.(*types.LongWritable).Get(); v != int64(i) {
+			t.Fatalf("stability broken at %d: got value %d", i, v)
+		}
+	}
+}
+
+// TestMergeIterTruncatedSpillSurfaces verifies a truncated spilled run
+// fails the merge loudly instead of silently shortening the partition.
+func TestMergeIterTruncatedSpillSurfaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	runs := makeRuns(rng, 3, 32, 4)
+	for len(runs[1]) == 0 {
+		runs = makeRuns(rng, 3, 32, 4)
+	}
+	dir := t.TempDir()
+	recs := make([]spill.Rec, len(runs[1]))
+	for j, p := range runs[1] {
+		kb, vb := pairBytes(t, p)
+		recs[j] = spill.Rec{K: kb, V: vb}
+	}
+	path := filepath.Join(dir, "trunc")
+	n, err := spill.WriteRunFile(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := spill.OpenSegment(path, spill.Segment{Off: 0, Len: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := []engine.RunReader{
+		engine.NewSliceRunReader(runs[0]),
+		engine.NewDecodingRunReader(s, types.IntName, types.LongName),
+		engine.NewSliceRunReader(runs[2]),
+	}
+	it, err := engine.NewMergeIter(readers, types.IntRawComparator{})
+	if err == nil {
+		defer it.Close()
+		for {
+			_, ok, nerr := it.Next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				t.Fatal("truncated spill merged to a silent end-of-stream")
+			}
+		}
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
 }

@@ -18,47 +18,89 @@ func SortPairs(pairs []wio.Pair, cmp wio.Comparator) {
 	})
 }
 
-// sliceValues iterates the values of pairs[start:end).
-type sliceValues struct {
-	pairs []wio.Pair
-	pos   int
-	end   int
+// PairIter is a stream of sorted pairs feeding a reduce task: a MergeIter
+// over shuffle runs, or a SlicePairs over an in-memory buffer.
+type PairIter interface {
+	Next() (wio.Pair, bool, error)
+}
+
+// SlicePairs returns a PairIter over an in-memory sorted slice (the same
+// cursor the merge's in-memory leaf uses).
+func SlicePairs(pairs []wio.Pair) PairIter { return &sliceRunReader{pairs: pairs} }
+
+// groupValues iterates the values of the current group directly off the
+// pair stream, advancing it until groupCmp reports a new key. cur/ok alias
+// DriveReduce's lookahead so the group boundary survives the iterator.
+type groupValues struct {
+	in         PairIter
+	groupCmp   wio.Comparator
+	cur        *wio.Pair
+	ok         *bool
+	groupKey   wio.Writable
+	recordCell *counters.Counter
+	err        error
+	first      bool
+	done       bool
 }
 
 // Next implements mapred.ValueIterator.
-func (s *sliceValues) Next() (wio.Writable, bool) {
-	if s.pos >= s.end {
+func (g *groupValues) Next() (wio.Writable, bool) {
+	if g.done || g.err != nil || !*g.ok {
 		return nil, false
 	}
-	v := s.pairs[s.pos].Value
-	s.pos++
+	if g.first {
+		g.first = false
+	} else if g.groupCmp.Compare(g.groupKey, g.cur.Key) != 0 {
+		g.done = true
+		return nil, false
+	}
+	v := g.cur.Value
+	g.recordCell.Increment(1)
+	next, ok, err := g.in.Next()
+	if err != nil {
+		g.err = err
+		return nil, false
+	}
+	*g.cur, *g.ok = next, ok
 	return v, true
 }
 
-// DriveReduce feeds sorted pairs group-by-group (per groupCmp) into run,
-// emitting through out. combine selects the combiner counter names instead
-// of the reducer ones.
-func DriveReduce(run ReduceRun, groupCmp wio.Comparator, pairs []wio.Pair,
+// DriveReduce feeds the sorted pair stream group-by-group (per groupCmp)
+// into run, emitting through out. The stream is consumed one pair ahead —
+// a MergeIter streams runs straight through without a materialized merged
+// copy. combine selects the combiner counter names instead of the reducer
+// ones.
+func DriveReduce(run ReduceRun, groupCmp wio.Comparator, in PairIter,
 	out mapred.OutputCollector, ctx *TaskContext, combine bool) error {
 	groupCell, recordCell := ctx.Cells.ReduceInputGroups, ctx.Cells.ReduceInputRecords
 	if combine {
 		groupCell, recordCell = nil, ctx.Cells.CombineInputRecords
 	}
-	i := 0
-	for i < len(pairs) {
-		j := i + 1
-		for j < len(pairs) && groupCmp.Compare(pairs[i].Key, pairs[j].Key) == 0 {
-			j++
-		}
+	cur, ok, err := in.Next()
+	if err != nil {
+		return err
+	}
+	for ok {
 		if groupCell != nil {
 			groupCell.Increment(1)
 		}
-		recordCell.Increment(int64(j - i))
-		values := &sliceValues{pairs: pairs, pos: i, end: j}
-		if err := run.Reduce(pairs[i].Key, values, out, ctx); err != nil {
+		values := &groupValues{
+			in: in, groupCmp: groupCmp, cur: &cur, ok: &ok,
+			groupKey: cur.Key, recordCell: recordCell, first: true,
+		}
+		if err := run.Reduce(cur.Key, values, out, ctx); err != nil {
 			return err
 		}
-		i = j
+		// Drain any values the reducer did not consume so the next group
+		// starts at a group boundary.
+		for {
+			if _, more := values.Next(); !more {
+				break
+			}
+		}
+		if values.err != nil {
+			return values.err
+		}
 	}
 	return run.Close()
 }
@@ -86,7 +128,7 @@ func Combine(rj *ResolvedJob, pairs []wio.Pair, ctx *TaskContext) ([]wio.Pair, e
 		out = append(out, wio.Pair{Key: key, Value: value})
 		return nil
 	})
-	if err := DriveReduce(run, rj.GroupCmp, pairs, collector, ctx, true); err != nil {
+	if err := DriveReduce(run, rj.GroupCmp, SlicePairs(pairs), collector, ctx, true); err != nil {
 		return nil, err
 	}
 	ctx.IncrCounter(counters.TaskGroup, counters.CombineOutputRecords, int64(len(out)))

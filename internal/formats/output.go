@@ -120,6 +120,20 @@ func (c *FileOutputCommitter) AbortTask(job *conf.JobConf, attempt string) error
 	return c.fs.Delete(work, true)
 }
 
+// AbortJob discards the scratch space after a failed job, leaving neither
+// a _temporary directory nor a _SUCCESS marker behind.
+func (c *FileOutputCommitter) AbortJob(job *conf.JobConf) error {
+	out := job.OutputPath()
+	if out == "" {
+		return nil
+	}
+	tmp := dfs.Join(out, TemporaryDir)
+	if !c.fs.Exists(tmp) {
+		return nil
+	}
+	return c.fs.Delete(tmp, true)
+}
+
 // CommitJob removes the scratch space and writes the _SUCCESS marker.
 func (c *FileOutputCommitter) CommitJob(job *conf.JobConf) error {
 	out := job.OutputPath()

@@ -28,6 +28,7 @@ import (
 	"m3r/internal/engine"
 	"m3r/internal/formats"
 	"m3r/internal/sim"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 )
 
@@ -188,15 +189,24 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	}
 
 	if err := run.runMapPhase(splits); err != nil {
+		// A failed job must not leave the committer's _temporary scratch
+		// space behind in the filesystem.
+		if job.OutputPath() != "" {
+			committer.AbortJob(job)
+		}
 		return nil, fmt.Errorf("hadoop: %s map phase: %w", jobID, err)
 	}
 	if !rj.MapOnly {
 		if err := run.runReducePhase(); err != nil {
+			if job.OutputPath() != "" {
+				committer.AbortJob(job)
+			}
 			return nil, fmt.Errorf("hadoop: %s reduce phase: %w", jobID, err)
 		}
 	}
 	if job.OutputPath() != "" {
 		if err := committer.CommitJob(job); err != nil {
+			committer.AbortJob(job)
 			return nil, err
 		}
 	}
@@ -230,13 +240,8 @@ type mapOutput struct {
 	node string
 	file string
 	// segments[p] is the byte range of partition p inside file.
-	segments []segment
+	segments []spill.Segment
 	records  int64
-}
-
-type segment struct {
-	off int64
-	len int64
 }
 
 // pendingTask is a schedulable map task.

@@ -11,6 +11,7 @@ import (
 	"m3r/internal/formats"
 	"m3r/internal/mapred"
 	"m3r/internal/sim"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 )
 
@@ -54,7 +55,7 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 	buf := &sortBuffer{
 		run:     r,
 		taskDir: filepath.Join(r.jobDir, fmt.Sprintf("map_%06d", t.index)),
-		parts:   make([][]rec, r.rj.NumReducers),
+		parts:   make([][]spill.Rec, r.rj.NumReducers),
 		limit:   limit,
 		ctx:     ctx,
 	}
@@ -81,7 +82,7 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 		}
 		outputCell.Increment(1)
 		bytesCell.Increment(int64(len(kb) + len(vb)))
-		return buf.add(p, rec{k: kb, v: vb})
+		return buf.add(p, spill.Rec{K: kb, V: vb})
 	})
 
 	if err := runner.Run(reader, collector, ctx); err != nil {
@@ -147,7 +148,7 @@ func (r *jobRun) runMapOnlyTask(t *pendingTask, taskID string,
 type sortBuffer struct {
 	run     *jobRun
 	taskDir string
-	parts   [][]rec
+	parts   [][]spill.Rec
 	bytes   int64
 	limit   int64
 	cmp     wio.RawComparator
@@ -159,13 +160,13 @@ type sortBuffer struct {
 // spillFile records one on-disk spill and its per-partition segments.
 type spillFile struct {
 	path     string
-	segments []segment
+	segments []spill.Segment
 }
 
 // add buffers one record, spilling when the buffer exceeds its limit.
-func (b *sortBuffer) add(p int, r rec) error {
+func (b *sortBuffer) add(p int, r spill.Rec) error {
 	b.parts[p] = append(b.parts[p], r)
-	b.bytes += r.size()
+	b.bytes += r.Size()
 	if b.bytes >= b.limit {
 		return b.spill()
 	}
@@ -181,7 +182,7 @@ func (b *sortBuffer) spill() error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	var segments []segment
+	var segments []spill.Segment
 	var off int64
 	var spilled int64
 	for p := range b.parts {
@@ -193,7 +194,7 @@ func (b *sortBuffer) spill() error {
 		}
 		var segLen int64
 		for _, r := range recs {
-			n, err := writeRec(w, r)
+			n, err := spill.WriteRec(w, r)
 			if err != nil {
 				f.Close()
 				return err
@@ -201,7 +202,7 @@ func (b *sortBuffer) spill() error {
 			segLen += n
 		}
 		spilled += int64(len(recs))
-		segments = append(segments, segment{off: off, len: segLen})
+		segments = append(segments, spill.Segment{Off: off, Len: segLen})
 		off += segLen
 		b.parts[p] = nil
 	}
@@ -224,12 +225,12 @@ func (b *sortBuffer) spill() error {
 
 // prepare sorts one partition's records, applying the combiner when the
 // job has one.
-func (b *sortBuffer) prepare(recs []rec) ([]rec, error) {
+func (b *sortBuffer) prepare(recs []spill.Rec) ([]spill.Rec, error) {
 	if len(recs) == 0 {
 		return recs, nil
 	}
 	if !b.run.rj.HasCombiner {
-		sortRecs(recs, b.cmp)
+		spill.SortRecs(recs, b.cmp)
 		return recs, nil
 	}
 	// Combine: deserialize, sort+combine through the shared driver,
@@ -243,20 +244,20 @@ func (b *sortBuffer) prepare(recs []rec) ([]rec, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]rec, 0, len(combined))
+	out := make([]spill.Rec, 0, len(combined))
 	for _, p := range combined {
 		kb, vb, err := serializePair(p.Key, p.Value)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, rec{k: kb, v: vb})
+		out = append(out, spill.Rec{K: kb, V: vb})
 	}
 	return out, nil
 }
 
 // deserializeRecs rebuilds writables from serialized records using the
 // job's map output classes.
-func (r *jobRun) deserializeRecs(recs []rec) ([]wio.Pair, error) {
+func (r *jobRun) deserializeRecs(recs []spill.Rec) ([]wio.Pair, error) {
 	keyClass := r.job.MapOutputKeyClass()
 	valClass := r.job.MapOutputValueClass()
 	out := make([]wio.Pair, 0, len(recs))
@@ -265,14 +266,14 @@ func (r *jobRun) deserializeRecs(recs []rec) ([]wio.Pair, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := wio.Unmarshal(rc.k, k); err != nil {
+		if err := wio.Unmarshal(rc.K, k); err != nil {
 			return nil, err
 		}
 		v, err := wio.New(valClass)
 		if err != nil {
 			return nil, err
 		}
-		if err := wio.Unmarshal(rc.v, v); err != nil {
+		if err := wio.Unmarshal(rc.V, v); err != nil {
 			return nil, err
 		}
 		out = append(out, wio.Pair{Key: k, Value: v})
@@ -299,12 +300,12 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 	}
 	w := bufio.NewWriter(f)
 	numParts := len(b.parts)
-	segments := make([]segment, numParts)
+	segments := make([]spill.Segment, numParts)
 	var off int64
 	for p := 0; p < numParts; p++ {
-		var streams []*recStream
+		var streams []*spill.Stream
 		for _, sp := range b.spills {
-			s, err := openSegment(sp.path, sp.segments[p])
+			s, err := spill.OpenSegment(sp.path, sp.segments[p])
 			if err != nil {
 				f.Close()
 				return nil, err
@@ -327,7 +328,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 			if !ok {
 				break
 			}
-			n, err := writeRec(w, r)
+			n, err := spill.WriteRec(w, r)
 			if err != nil {
 				m.close()
 				f.Close()
@@ -336,7 +337,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 			segLen += n
 		}
 		m.close()
-		segments[p] = segment{off: off, len: segLen}
+		segments[p] = spill.Segment{Off: off, Len: segLen}
 		off += segLen
 	}
 	if err := w.Flush(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"m3r/internal/engine"
 	"m3r/internal/mapred"
 	"m3r/internal/sim"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 )
 
@@ -51,13 +52,9 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 	if err != nil {
 		return err
 	}
-	var streams []*recStream
+	var streams []*spill.Stream
 	for _, p := range segPaths {
-		st, err := os.Stat(p)
-		if err != nil {
-			return err
-		}
-		s, err := openSegment(p, segment{off: 0, len: st.Size()})
+		s, err := spill.OpenFile(p)
 		if err != nil {
 			return err
 		}
@@ -130,14 +127,14 @@ func (r *jobRun) fetchSegments(partition int, node, reduceDir string, ctx *engin
 			return nil, fmt.Errorf("hadoop: map output %d missing", i)
 		}
 		seg := mo.segments[partition]
-		if seg.len == 0 {
+		if seg.Len == 0 {
 			continue
 		}
 		src, err := os.Open(mo.file)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := src.Seek(seg.off, io.SeekStart); err != nil {
+		if _, err := src.Seek(seg.Off, io.SeekStart); err != nil {
 			src.Close()
 			return nil, err
 		}
@@ -147,7 +144,7 @@ func (r *jobRun) fetchSegments(partition int, node, reduceDir string, ctx *engin
 			src.Close()
 			return nil, err
 		}
-		n, err := io.Copy(dst, io.LimitReader(src, seg.len))
+		n, err := io.Copy(dst, io.LimitReader(src, seg.Len))
 		src.Close()
 		if cerr := dst.Close(); err == nil {
 			err = cerr
@@ -211,11 +208,11 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 		return err
 	}
 	for ok {
-		groupKey, err := newKey(cur.k)
+		groupKey, err := newKey(cur.K)
 		if err != nil {
 			return err
 		}
-		groupKeyBytes := append([]byte(nil), cur.k...)
+		groupKeyBytes := append([]byte(nil), cur.K...)
 		ctx.Cells.ReduceInputGroups.Increment(1)
 		it := &mergeValues{
 			run: r, m: m, cur: &cur, ok: &ok,
@@ -244,7 +241,7 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 type mergeValues struct {
 	run           *jobRun
 	m             *merger
-	cur           *rec
+	cur           *spill.Rec
 	ok            *bool
 	groupKey      wio.Writable
 	groupKeyBytes []byte
@@ -263,7 +260,7 @@ func (it *mergeValues) Next() (wio.Writable, bool) {
 	// Does the current record still belong to this group? Compare the
 	// serialized keys when possible; deserialize otherwise.
 	if it.rawGroup != nil {
-		if it.rawGroup.CompareRaw(it.groupKeyBytes, it.cur.k) != 0 {
+		if it.rawGroup.CompareRaw(it.groupKeyBytes, it.cur.K) != 0 {
 			it.done = true
 			return nil, false
 		}
@@ -273,7 +270,7 @@ func (it *mergeValues) Next() (wio.Writable, bool) {
 			it.err = err
 			return nil, false
 		}
-		if err := wio.Unmarshal(it.cur.k, curKey); err != nil {
+		if err := wio.Unmarshal(it.cur.K, curKey); err != nil {
 			it.err = err
 			return nil, false
 		}
@@ -282,7 +279,7 @@ func (it *mergeValues) Next() (wio.Writable, bool) {
 			return nil, false
 		}
 	}
-	v, err := it.newVal(it.cur.v)
+	v, err := it.newVal(it.cur.V)
 	if err != nil {
 		it.err = err
 		return nil, false

@@ -1,231 +1,70 @@
 package hadoop
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"os"
-	"slices"
 
+	"m3r/internal/engine"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 )
 
-// The spill record format: records are (uvarint keyLen, key bytes,
-// uvarint valLen, value bytes), concatenated per partition. A spill file is
-// the partitions in order; the index (kept in memory, like Hadoop's
-// file.out.index) records each partition's byte range.
+// The spill record format and segment reader live in internal/spill, shared
+// with the M3R engine's budget-exceeding shuffle runs; the k-way merge is
+// engine.Tournament, the same loser tree the in-memory merge uses. This
+// file only binds the two to the Hadoop engine's raw-record streams.
 
-// rec is one serialized map-output record.
-type rec struct {
-	k, v []byte
-}
-
-func (r rec) size() int64 { return int64(len(r.k) + len(r.v) + 2*binary.MaxVarintLen32) }
-
-// writeRec appends one record to w, returning the bytes written.
-func writeRec(w *bufio.Writer, r rec) (int64, error) {
-	var n int64
-	var scratch [binary.MaxVarintLen64]byte
-	m := binary.PutUvarint(scratch[:], uint64(len(r.k)))
-	if _, err := w.Write(scratch[:m]); err != nil {
-		return 0, err
-	}
-	n += int64(m)
-	if _, err := w.Write(r.k); err != nil {
-		return 0, err
-	}
-	n += int64(len(r.k))
-	m = binary.PutUvarint(scratch[:], uint64(len(r.v)))
-	if _, err := w.Write(scratch[:m]); err != nil {
-		return 0, err
-	}
-	n += int64(m)
-	if _, err := w.Write(r.v); err != nil {
-		return 0, err
-	}
-	n += int64(len(r.v))
-	return n, nil
-}
-
-// recStream reads records back from one byte range of a file.
-type recStream struct {
-	f   *os.File
-	br  *bufio.Reader
-	rem int64
-}
-
-// openSegment opens the byte range seg of the file at path.
-func openSegment(path string, seg segment) (*recStream, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := f.Seek(seg.off, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &recStream{f: f, br: bufio.NewReader(io.LimitReader(f, seg.len)), rem: seg.len}, nil
-}
-
-// next returns the next record, or ok=false at the end of the segment.
-func (s *recStream) next() (rec, bool, error) {
-	if s.rem <= 0 {
-		return rec{}, false, nil
-	}
-	kl, err := binary.ReadUvarint(s.br)
-	if err == io.EOF {
-		return rec{}, false, nil
-	}
-	if err != nil {
-		return rec{}, false, err
-	}
-	k := make([]byte, kl)
-	if _, err := io.ReadFull(s.br, k); err != nil {
-		return rec{}, false, err
-	}
-	vl, err := binary.ReadUvarint(s.br)
-	if err != nil {
-		return rec{}, false, err
-	}
-	v := make([]byte, vl)
-	if _, err := io.ReadFull(s.br, v); err != nil {
-		return rec{}, false, err
-	}
-	consumed := int64(uvarintLen(kl)) + int64(kl) + int64(uvarintLen(vl)) + int64(vl)
-	s.rem -= consumed
-	return rec{k: k, v: v}, true, nil
-}
-
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
-	}
-	return n
-}
-
-func (s *recStream) close() error { return s.f.Close() }
-
-// sortRecs orders serialized records by key with the raw comparator,
-// stably (Hadoop preserves input order among equal keys within a task).
-// Raw comparison plus the allocation-free slices sort keeps the spill sort
-// off both the deserializer and the garbage collector.
-func sortRecs(recs []rec, cmp wio.RawComparator) {
-	slices.SortStableFunc(recs, func(a, b rec) int {
-		return cmp.CompareRaw(a.k, b.k)
-	})
-}
-
-// merger streams the union of several sorted segments in sorted order.
-// It is a tournament tree of losers over the streams' head records, the
-// same structure engine.MergeRuns uses for in-memory runs: each internal
-// node stores the losing stream, the winner sits at tree[0], and advancing
-// replays one leaf-to-root path — ceil(log2 k) raw-key comparisons per
-// record with no heap push/pop bookkeeping or interface dispatch. Ties
+// merger streams the union of several sorted segments in sorted order: a
+// tournament of losers over the streams' head records — ceil(log2 k)
+// raw-key comparisons per record with no heap push/pop bookkeeping. Ties
 // break by stream index for determinism.
 type merger struct {
-	streams []*recStream
-	heads   []rec
-	live    []bool
-	tree    []int
-	cmp     wio.RawComparator
-	k       int
+	streams []*spill.Stream
+	t       *engine.Tournament[spill.Rec]
 }
 
-// newMerger opens a merge over the given streams.
-func newMerger(streams []*recStream, cmp wio.RawComparator) (*merger, error) {
+// newMerger opens a merge over the given streams, closing them on error.
+func newMerger(streams []*spill.Stream, cmp wio.RawComparator) (*merger, error) {
 	k := len(streams)
-	m := &merger{
-		streams: streams,
-		heads:   make([]rec, k),
-		live:    make([]bool, k),
-		tree:    make([]int, k),
-		cmp:     cmp,
-		k:       k,
-	}
+	heads := make([]spill.Rec, k)
+	live := make([]bool, k)
 	for i, s := range streams {
-		r, ok, err := s.next()
+		r, ok, err := s.Next()
 		if err != nil {
-			m.close()
+			for _, s := range streams {
+				s.Close()
+			}
 			return nil, err
 		}
-		m.heads[i], m.live[i] = r, ok
+		heads[i], live[i] = r, ok
 	}
-	if k == 0 {
-		return m, nil
-	}
-	if k == 1 {
-		m.tree[0] = 0
-		return m, nil
-	}
-	// Bottom-up build: leaf i sits at conceptual node k+i; every internal
-	// node 1..k-1 plays its children's winners, keeps the loser, and sends
-	// the winner up; tree[0] holds the champion.
-	winner := make([]int, 2*k)
-	for i := 0; i < k; i++ {
-		winner[k+i] = i
-	}
-	for n := k - 1; n >= 1; n-- {
-		a, b := winner[2*n], winner[2*n+1]
-		if m.wins(a, b) {
-			winner[n], m.tree[n] = a, b
-		} else {
-			winner[n], m.tree[n] = b, a
-		}
-	}
-	m.tree[0] = winner[1]
-	return m, nil
-}
-
-// wins reports whether stream i's head should be emitted before stream j's:
-// an exhausted stream loses to any live one, raw key order decides
-// otherwise, and ties go to the lower stream index.
-func (m *merger) wins(i, j int) bool {
-	if !m.live[i] {
-		return !m.live[j] && i < j
-	}
-	if !m.live[j] {
-		return true
-	}
-	c := m.cmp.CompareRaw(m.heads[i].k, m.heads[j].k)
-	if c != 0 {
-		return c < 0
-	}
-	return i < j
+	t := engine.NewTournament(heads, live, func(a, b spill.Rec) int {
+		return cmp.CompareRaw(a.K, b.K)
+	})
+	return &merger{streams: streams, t: t}, nil
 }
 
 // next returns the globally next record in sort order.
-func (m *merger) next() (rec, bool, error) {
-	if m.k == 0 {
-		return rec{}, false, nil
+func (m *merger) next() (spill.Rec, bool, error) {
+	w, ok := m.t.Winner()
+	if !ok {
+		return spill.Rec{}, false, nil
 	}
-	w := m.tree[0]
-	if !m.live[w] {
-		// The champion is exhausted; every stream is.
-		return rec{}, false, nil
-	}
-	out := m.heads[w]
-	r, ok, err := m.streams[w].next()
+	out := m.t.Head(w)
+	r, ok, err := m.streams[w].Next()
 	if err != nil {
-		return rec{}, false, err
+		return spill.Rec{}, false, err
 	}
-	m.heads[w], m.live[w] = r, ok
-	// Replay the matches on leaf w's path to the root.
-	cur := w
-	for n := (m.k + w) / 2; n >= 1; n /= 2 {
-		if m.wins(m.tree[n], cur) {
-			m.tree[n], cur = cur, m.tree[n]
-		}
+	if ok {
+		m.t.Replace(w, r)
+	} else {
+		m.t.Exhaust(w)
 	}
-	m.tree[0] = cur
 	return out, true, nil
 }
 
 func (m *merger) close() {
 	for _, s := range m.streams {
-		s.close()
+		s.Close()
 	}
 }
 

@@ -4,10 +4,9 @@ import (
 	"bufio"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
-	"testing/quick"
 
+	"m3r/internal/spill"
 	"m3r/internal/types"
 	"m3r/internal/wio"
 )
@@ -21,80 +20,11 @@ func marshalInt(t *testing.T, v int32) []byte {
 	return b
 }
 
-func TestRecRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "seg")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := bufio.NewWriter(f)
-	var total int64
-	recs := []rec{
-		{k: []byte("key1"), v: []byte("value1")},
-		{k: []byte{}, v: []byte("empty key")},
-		{k: []byte("k"), v: []byte{}},
-	}
-	for _, r := range recs {
-		n, err := writeRec(w, r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		total += n
-	}
-	w.Flush()
-	f.Close()
-
-	s, err := openSegment(path, segment{off: 0, len: total})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.close()
-	for i, want := range recs {
-		got, ok, err := s.next()
-		if err != nil || !ok {
-			t.Fatalf("rec %d: ok=%v err=%v", i, ok, err)
-		}
-		if string(got.k) != string(want.k) || string(got.v) != string(want.v) {
-			t.Fatalf("rec %d mismatch", i)
-		}
-	}
-	if _, ok, _ := s.next(); ok {
-		t.Error("stream should be exhausted")
-	}
-}
-
-func TestSortRecsMatchesValues(t *testing.T) {
-	f := func(vals []int32) bool {
-		recs := make([]rec, len(vals))
-		for i, v := range vals {
-			b, _ := wio.Marshal(types.NewInt(v))
-			recs[i] = rec{k: b, v: nil}
-		}
-		sortRecs(recs, types.IntRawComparator{})
-		sorted := append([]int32(nil), vals...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		for i := range sorted {
-			out := &types.IntWritable{}
-			if wio.Unmarshal(recs[i].k, out) != nil {
-				return false
-			}
-			if out.Get() != sorted[i] {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
 // TestMergerProducesGlobalOrder merges several sorted segments and checks
 // global sorted order with stable tie-breaks.
 func TestMergerProducesGlobalOrder(t *testing.T) {
 	dir := t.TempDir()
-	var streams []*recStream
+	var streams []*spill.Stream
 	// Three sorted runs with interleaved and duplicate keys.
 	runs := [][]int32{
 		{1, 4, 7, 7, 100},
@@ -108,7 +38,7 @@ func TestMergerProducesGlobalOrder(t *testing.T) {
 		w := bufio.NewWriter(f)
 		var total int64
 		for _, v := range run {
-			n, err := writeRec(w, rec{k: marshalInt(t, v), v: []byte{byte(i)}})
+			n, err := spill.WriteRec(w, spill.Rec{K: marshalInt(t, v), V: []byte{byte(i)}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +46,7 @@ func TestMergerProducesGlobalOrder(t *testing.T) {
 		}
 		w.Flush()
 		f.Close()
-		s, err := openSegment(path, segment{off: 0, len: total})
+		s, err := spill.OpenSegment(path, spill.Segment{Off: 0, Len: total})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,10 +68,10 @@ func TestMergerProducesGlobalOrder(t *testing.T) {
 			break
 		}
 		out := &types.IntWritable{}
-		wio.Unmarshal(r.k, out)
+		wio.Unmarshal(r.K, out)
 		got = append(got, out.Get())
 		if out.Get() == 4 {
-			srcOfFours = append(srcOfFours, r.v[0])
+			srcOfFours = append(srcOfFours, r.V[0])
 		}
 	}
 	want := []int32{0, 1, 2, 4, 4, 4, 7, 7, 8, 9, 100, 101}
@@ -156,14 +86,5 @@ func TestMergerProducesGlobalOrder(t *testing.T) {
 	// Ties resolve by stream index: sources 0, 1, 2.
 	if string(srcOfFours) != "\x00\x01\x02" {
 		t.Errorf("tie-break order: %v", srcOfFours)
-	}
-}
-
-func TestUvarintLen(t *testing.T) {
-	cases := map[uint64]int{0: 1, 127: 1, 128: 2, 16383: 2, 16384: 3}
-	for v, want := range cases {
-		if got := uvarintLen(v); got != want {
-			t.Errorf("uvarintLen(%d)=%d, want %d", v, got, want)
-		}
 	}
 }

@@ -3,8 +3,12 @@ package integration_test
 import (
 	"testing"
 
+	"m3r/internal/conf"
 	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/mapred"
 	"m3r/internal/sim"
+	"m3r/internal/types"
 	"m3r/internal/wordcount"
 )
 
@@ -48,5 +52,88 @@ func TestHadoopMultiSpillMerge(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("line %d differs: %q vs %q", i, a[i], b[i])
 		}
+	}
+}
+
+// TestM3RShuffleBudgetSpills drives the M3R engine's spill path: a shuffle
+// budget far below the job's shuffle volume forces runs to disk (asserted
+// via the SpilledRuns counter), and the job's output must stay
+// byte-identical to the unbudgeted, fully in-memory run of the same job.
+func TestM3RShuffleBudgetSpills(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/b", 128<<10, 5); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budgeted := wordcount.NewJob("/data/b", "/out/budgeted", 3, false)
+	// 4 KiB per place against tens of KiB of shuffled runs: the first run
+	// or two stay resident, the rest must spill.
+	budgeted.SetInt64(conf.KeyM3RShuffleBudget, 4<<10)
+	rep, err := c.m3r.Submit(budgeted)
+	if err != nil {
+		t.Fatalf("budgeted submit: %v", err)
+	}
+	spilledRuns := rep.Counters.Value(counters.M3RGroup, counters.SpilledRuns)
+	if spilledRuns == 0 {
+		t.Fatal("tiny budget produced no spilled runs")
+	}
+	if rep.Counters.Value(counters.M3RGroup, counters.SpilledBytes) == 0 {
+		t.Error("spilled runs but no spilled bytes counted")
+	}
+
+	unbudgeted := wordcount.NewJob("/data/b", "/out/unbudgeted", 3, false)
+	rep2, err := c.m3r.Submit(unbudgeted)
+	if err != nil {
+		t.Fatalf("unbudgeted submit: %v", err)
+	}
+	if n := rep2.Counters.Value(counters.M3RGroup, counters.SpilledRuns); n != 0 {
+		t.Fatalf("unbudgeted job spilled %d runs", n)
+	}
+
+	a := readTextOutput(t, c.fs, "/out/budgeted")
+	b := readTextOutput(t, c.fs, "/out/unbudgeted")
+	if len(a) != len(b) {
+		t.Fatalf("budgeted %d lines vs unbudgeted %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	checkCounts(t, a, want)
+}
+
+// TestM3RFailedJobLeavesNoScratch pins the abort path: a failing M3R job
+// must clean the committer's _temporary directory off the caching
+// filesystem instead of leaving it for the next job to trip over.
+func TestM3RFailedJobLeavesNoScratch(t *testing.T) {
+	c := newCluster(t, 1)
+	dfs.WriteFile(c.fs, "/in/g", []byte("a line\n"))
+	job := conf.NewJob()
+	job.AddInputPath("/in")
+	job.SetOutputPath("/out/failing")
+	job.SetMapperClass("test.FlakyMapper")
+	job.SetReducerClass(mapred.IdentityReducerName)
+	job.SetNumReduceTasks(1)
+	job.SetMapOutputKeyClass(types.LongName)
+	job.SetMapOutputValueClass(types.TextName)
+	job.SetOutputKeyClass(types.LongName)
+	job.SetOutputValueClass(types.TextName)
+
+	flakyRemaining.Store(1)
+	if _, err := c.m3r.Submit(job); err == nil {
+		t.Fatal("m3r job should have failed")
+	}
+	flakyRemaining.Store(-1)
+	fs := c.m3r.CachingFS()
+	if fs.Exists("/out/failing/_temporary") {
+		t.Error("failed job left _temporary behind")
+	}
+	if fs.Exists("/out/failing/_SUCCESS") {
+		t.Error("failed job left a _SUCCESS marker")
 	}
 }

@@ -255,6 +255,12 @@ func (o *OutputWriter) Close() error {
 	return nil
 }
 
+// Abort discards the entry of a writer whose task failed: a partially
+// written output must not be served as a cache hit to later jobs.
+func (o *OutputWriter) Abort() error {
+	return o.cache.store.Delete(o.path)
+}
+
 // Drop removes path (file or directory) and all its split entries from the
 // cache, the interception applied on FileSystem.delete (§3.2.1).
 func (c *Cache) Drop(path string) error {

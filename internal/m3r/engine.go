@@ -2,6 +2,8 @@ package m3r
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"m3r/internal/engine"
 	"m3r/internal/formats"
 	"m3r/internal/sim"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 	"m3r/internal/x10"
 )
@@ -159,13 +162,21 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	}
 
 	x := &jobExec{
-		e:            e,
-		job:          job,
-		rj:           rj,
-		jobID:        jobID,
-		jc:           counters.New(),
-		cacheEnabled: job.GetBool(conf.KeyM3RCache, true),
-		dedup:        job.GetBool(conf.KeyM3RDedup, true),
+		e:             e,
+		job:           job,
+		rj:            rj,
+		jobID:         jobID,
+		jc:            counters.New(),
+		cacheEnabled:  job.GetBool(conf.KeyM3RCache, true),
+		dedup:         job.GetBool(conf.KeyM3RDedup, true),
+		shuffleBudget: job.GetInt64(conf.KeyM3RShuffleBudget, 0),
+	}
+	defer x.cleanupSpill()
+	if x.shuffleBudget > 0 {
+		x.budgets = make([]*placeBudget, e.rt.NumPlaces())
+		for p := range x.budgets {
+			x.budgets[p] = &placeBudget{budget: x.shuffleBudget}
+		}
 	}
 	outPath := job.OutputPath()
 	x.temp = outPath != "" && job.IsTemporaryOutput(outPath)
@@ -184,14 +195,20 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	assignments := x.plan(splits)
 
 	for i := 0; i < rj.NumReducers; i++ {
-		x.parts = append(x.parts, &partitionInput{})
+		x.parts = append(x.parts, &partitionInput{x: x, place: e.PlaceOfPartition(i)})
 	}
 
 	if err := x.run(assignments); err != nil {
+		// A failed job must not leave the committer's _temporary scratch
+		// space behind on the (caching) filesystem.
+		if x.writeOutput {
+			x.committer.AbortJob(job)
+		}
 		return nil, fmt.Errorf("m3r: %s: %w", jobID, err)
 	}
 	if x.writeOutput {
 		if err := x.committer.CommitJob(job); err != nil {
+			x.committer.AbortJob(job)
 			return nil, err
 		}
 	}
@@ -220,6 +237,63 @@ type jobExec struct {
 	cacheEnabled bool
 	dedup        bool
 	cmu          sync.Mutex
+
+	// Shuffle memory budget (conf.KeyM3RShuffleBudget): when positive,
+	// each place accounts its resident shuffle runs against budgets[place]
+	// and runs beyond the budget spill to disk in the shared spill record
+	// format (internal/spill), re-entering the merge through stream-backed
+	// leaves. Zero or negative means unlimited — the paper's pure
+	// in-memory design point, with no accounting overhead.
+	shuffleBudget int64
+	budgets       []*placeBudget
+	spillMu       sync.Mutex
+	spillDir      string
+	spillSeq      atomic.Int64
+}
+
+// placeBudget is one place's shuffle memory accountant. Reservations are
+// held for the life of the job: the shuffle's resident runs are only
+// released to the collector when the reduce phase consumes them.
+type placeBudget struct {
+	mu     sync.Mutex
+	budget int64
+	held   int64
+}
+
+// reserve charges n bytes against the budget, reporting whether they fit.
+func (b *placeBudget) reserve(n int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.held+n > b.budget {
+		return false
+	}
+	b.held += n
+	return true
+}
+
+// spillPath returns a fresh file path for one spilled run, creating the
+// job's spill directory on first use.
+func (x *jobExec) spillPath() (string, error) {
+	x.spillMu.Lock()
+	defer x.spillMu.Unlock()
+	if x.spillDir == "" {
+		d, err := os.MkdirTemp("", "m3r-spill-"+x.jobID+"-")
+		if err != nil {
+			return "", err
+		}
+		x.spillDir = d
+	}
+	return filepath.Join(x.spillDir, fmt.Sprintf("run_%06d", x.spillSeq.Add(1))), nil
+}
+
+// cleanupSpill removes every spilled run at job end (success or failure).
+func (x *jobExec) cleanupSpill() {
+	x.spillMu.Lock()
+	defer x.spillMu.Unlock()
+	if x.spillDir != "" {
+		os.RemoveAll(x.spillDir)
+		x.spillDir = ""
+	}
 }
 
 func (x *jobExec) mergeCounters(ctx *engine.TaskContext) {
@@ -380,15 +454,25 @@ func (x *jobExec) runMapTask(a *mapAssignment) (err error) {
 		Collect(k, v wio.Writable) error
 	}
 	var finish func() error
+	var abort func()
+	// The abort runs on every failure exit — error return or panic (the
+	// recover above sees it after this defer) — so a failed task never
+	// leaves partial output in the cache or pooled buffers adrift.
+	done := false
+	defer func() {
+		if !done && abort != nil {
+			abort()
+		}
+	}()
 	if x.rj.MapOnly {
 		moc, err := x.newMapOnlyCollector(a, taskJob, ctx)
 		if err != nil {
 			return err
 		}
-		collector, finish = moc, moc.close
+		collector, finish, abort = moc, moc.close, moc.abort
 	} else {
 		sc := x.newShuffleCollector(a, ctx)
-		collector, finish = sc, sc.flush
+		collector, finish, abort = sc, sc.flush, sc.abort
 	}
 	out := mapredCollector{collector}
 
@@ -398,6 +482,7 @@ func (x *jobExec) runMapTask(a *mapAssignment) (err error) {
 	if err := finish(); err != nil {
 		return fmt.Errorf("map task %d output: %w", a.index, err)
 	}
+	done = true
 	x.mergeCounters(ctx)
 	return nil
 }
@@ -512,43 +597,139 @@ func materialize(reader formats.RecordReader) ([]wio.Pair, error) {
 // (inside the already-parallel map phase, see shuffleCollector.flush), so
 // the reduce task only k-way merges them — the run-based shuffle-and-sort
 // pipeline that keeps the O(n log n) sort off the reduce critical path.
+// Under a shuffle memory budget, runs that do not fit their place's
+// accountant live on disk in the shared spill record format instead of on
+// the heap, and re-enter the same merge through stream-backed leaves.
 type partitionInput struct {
-	mu   sync.Mutex
-	runs []sourceRun
+	x     *jobExec
+	place int
+	mu    sync.Mutex
+	runs  []sourceRun
 }
 
-// sourceRun is one map task's sorted contribution to a partition.
+// sourceRun is one map task's sorted contribution to a partition: resident
+// pairs, or a spilled run on disk (exactly one of the two is set).
 type sourceRun struct {
 	src   int
 	pairs []wio.Pair
+	spill *spilledRun
+}
+
+// spilledRun locates one run spilled in the shared spill record format.
+// The key/value class names ride in memory (not on disk, keeping the file
+// format byte-identical to the Hadoop engine's) so the merge leaf can
+// deserialize records back into writables.
+type spilledRun struct {
+	path               string
+	keyClass, valClass string
 }
 
 // addRun installs one source task's sorted run. Each map task contributes
 // at most one run per partition (its pairs are either all local or all
-// remote with respect to the partition's place).
-func (pi *partitionInput) addRun(src int, pairs []wio.Pair) {
+// remote with respect to the partition's place). With a budget configured,
+// the run is serialized to learn its size — the cost Hadoop always pays at
+// collect time — and spills to disk when the place's accountant is full.
+func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.Pair) error {
 	if len(pairs) == 0 {
-		return
+		return nil
 	}
+	x := pi.x
+	if x.shuffleBudget <= 0 {
+		pi.install(sourceRun{src: src, pairs: pairs})
+		return nil
+	}
+	recs, keyClass, valClass, size, err := encodeRun(pairs)
+	if err != nil {
+		// Keys or values this job shuffles cannot round-trip through the
+		// record format (unregistered or unserializable types); such a run
+		// can only live on the heap, as in unbudgeted mode.
+		pi.install(sourceRun{src: src, pairs: pairs})
+		return nil
+	}
+	if x.budgets[pi.place].reserve(size) {
+		pi.install(sourceRun{src: src, pairs: pairs})
+		return nil
+	}
+	path, err := x.spillPath()
+	if err != nil {
+		return err
+	}
+	n, err := spill.WriteRunFile(path, recs)
+	if err != nil {
+		return err
+	}
+	ctx.Cells.SpilledRuns.Increment(1)
+	ctx.Cells.SpilledBytes.Increment(n)
+	ctx.Cells.SpilledRecords.Increment(int64(len(recs)))
+	e := x.e
+	e.stats.Add(sim.SpillBytes, n)
+	e.stats.Add(sim.SpillFiles, 1)
+	e.cost.ChargeDisk(e.stats, n)
+	pi.install(sourceRun{src: src, spill: &spilledRun{path: path, keyClass: keyClass, valClass: valClass}})
+	return nil
+}
+
+func (pi *partitionInput) install(r sourceRun) {
 	pi.mu.Lock()
-	pi.runs = append(pi.runs, sourceRun{src: src, pairs: pairs})
+	pi.runs = append(pi.runs, r)
 	pi.mu.Unlock()
 }
 
-// takeRuns returns the accumulated runs ordered by source task, detaching
-// them from the partition. Source order is the merge's stability tie-break:
-// equal keys surface in map-task order, exactly as the old concatenate-
-// then-stable-sort path produced them.
-func (pi *partitionInput) takeRuns() [][]wio.Pair {
+// encodeRun serializes a run into the shared spill record format, returning
+// the records, the key/value class names needed to decode them, and the
+// run's accounting size.
+func encodeRun(pairs []wio.Pair) ([]spill.Rec, string, string, int64, error) {
+	keyClass, err := wio.NameOf(pairs[0].Key)
+	if err != nil {
+		return nil, "", "", 0, err
+	}
+	valClass, err := wio.NameOf(pairs[0].Value)
+	if err != nil {
+		return nil, "", "", 0, err
+	}
+	recs := make([]spill.Rec, len(pairs))
+	var size int64
+	for i, p := range pairs {
+		kb, err := wio.Marshal(p.Key)
+		if err != nil {
+			return nil, "", "", 0, err
+		}
+		vb, err := wio.Marshal(p.Value)
+		if err != nil {
+			return nil, "", "", 0, err
+		}
+		recs[i] = spill.Rec{K: kb, V: vb}
+		size += recs[i].Size()
+	}
+	return recs, keyClass, valClass, size, nil
+}
+
+// takeReaders returns one merge leaf per accumulated run, ordered by source
+// task, detaching them from the partition. Source order is the merge's
+// stability tie-break: equal keys surface in map-task order, exactly as the
+// old concatenate-then-stable-sort path produced them, whether a run stayed
+// resident or spilled.
+func (pi *partitionInput) takeReaders() ([]engine.RunReader, error) {
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
 	slices.SortStableFunc(pi.runs, func(a, b sourceRun) int { return a.src - b.src })
-	out := make([][]wio.Pair, len(pi.runs))
-	for i, r := range pi.runs {
-		out[i] = r.pairs
+	out := make([]engine.RunReader, 0, len(pi.runs))
+	for _, r := range pi.runs {
+		if r.spill == nil {
+			out = append(out, engine.NewSliceRunReader(r.pairs))
+			continue
+		}
+		s, err := spill.OpenFile(r.spill.path)
+		if err != nil {
+			for _, rd := range out {
+				rd.Close()
+			}
+			return nil, err
+		}
+		out = append(out, engine.NewDecodingRunReader(s, r.spill.keyClass, r.spill.valClass))
 	}
 	pi.runs = nil
-	return out
+	return out, nil
 }
 
 // runReduceTask executes one reduce partition at its stable place.
@@ -567,8 +748,18 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedReduces, 1)
 
 	// The HMR API promises reducers sorted input even in memory. Map tasks
-	// shipped sorted runs; merge them stably instead of re-sorting.
-	pairs := engine.MergeRuns(x.parts[q].takeRuns(), x.rj.SortCmp)
+	// shipped sorted runs (resident or spilled); merge them stably through
+	// the tournament tree, streaming straight into the reducer instead of
+	// materializing a merged copy of the partition.
+	readers, err := x.parts[q].takeReaders()
+	if err != nil {
+		return err
+	}
+	merged, err := engine.NewMergeIter(readers, x.rj.SortCmp)
+	if err != nil {
+		return err
+	}
+	defer merged.Close()
 
 	reducer := x.rj.NewReduceRun()
 	reducer.Configure(taskJob)
@@ -624,7 +815,16 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 		return nil
 	})}
 
-	if err := engine.DriveReduce(reducer, x.rj.GroupCmp, pairs, collector, ctx, false); err != nil {
+	// A failing task must not leave its partial output visible in the
+	// cache: later jobs would read the truncated file as a cache hit.
+	cacheDone := false
+	defer func() {
+		if cacheW != nil && !cacheDone {
+			cacheW.Abort()
+		}
+	}()
+
+	if err := engine.DriveReduce(reducer, x.rj.GroupCmp, merged, collector, ctx, false); err != nil {
 		if rw != nil {
 			rw.Close()
 			x.committer.AbortTask(taskJob, taskID)
@@ -644,6 +844,7 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 			return err
 		}
 	}
+	cacheDone = true
 	x.mergeCounters(ctx)
 	return nil
 }

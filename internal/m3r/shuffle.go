@@ -198,49 +198,81 @@ func (sc *shuffleCollector) flush() error {
 	sortCmp := sc.x.rj.SortCmp
 	for q, pairs := range sc.localBufs {
 		engine.SortPairs(pairs, sortCmp)
-		sc.x.parts[q].addRun(sc.src, pairs)
+		if err := sc.x.parts[q].addRun(sc.ctx, sc.src, pairs); err != nil {
+			return err
+		}
 	}
 	sc.localBufs = nil
 
-	e := sc.x.e
 	for d, de := range sc.encoders {
-		if err := de.enc.Close(); err != nil {
+		if err := sc.shipRemote(d, de); err != nil {
 			return err
-		}
-		payload := de.buf.Bytes()
-		n := int64(len(payload))
-		e.stats.Add(sim.RemoteBytes, n)
-		e.stats.Add(sim.RemoteTransfers, 1)
-		e.stats.Add(sim.DedupHits, int64(de.enc.DedupHits()))
-		sc.ctx.IncrCounter(counters.TaskGroup, counters.RemoteShuffleBytes, n)
-		sc.ctx.IncrCounter(counters.M3RGroup, counters.DedupHits, int64(de.enc.DedupHits()))
-		e.cost.ChargeNet(e.stats, n)
-
-		// "Arrive" at place d: decode into fresh objects.
-		dec := wio.NewDecoder(bytes.NewReader(payload))
-		byPartition := make(map[int][]wio.Pair)
-		for i := 0; i < de.n; i++ {
-			qv, err := dec.DecodeUvarint()
-			if err != nil {
-				return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
-			}
-			pair, err := dec.DecodePair()
-			if err != nil {
-				return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
-			}
-			q := int(qv)
-			byPartition[q] = append(byPartition[q], pair)
-		}
-		de.buf.Reset()
-		encodeBufPool.Put(de.buf)
-		de.buf, de.enc = nil, nil
-		for q, pairs := range byPartition {
-			engine.SortPairs(pairs, sortCmp)
-			sc.x.parts[q].addRun(sc.src, pairs)
 		}
 	}
 	sc.encoders = nil
 	return nil
+}
+
+// shipRemote closes one destination's encoded stream, "ships" it, and
+// decodes it at the destination into sorted runs.
+func (sc *shuffleCollector) shipRemote(d int, de *destEncoder) error {
+	// The pooled buffer returns to encodeBufPool on every exit path —
+	// error returns must not bleed grown buffers out of the pool.
+	defer func() {
+		de.buf.Reset()
+		encodeBufPool.Put(de.buf)
+		de.buf, de.enc = nil, nil
+	}()
+	e := sc.x.e
+	if err := de.enc.Close(); err != nil {
+		return err
+	}
+	payload := de.buf.Bytes()
+	n := int64(len(payload))
+	e.stats.Add(sim.RemoteBytes, n)
+	e.stats.Add(sim.RemoteTransfers, 1)
+	e.stats.Add(sim.DedupHits, int64(de.enc.DedupHits()))
+	sc.ctx.IncrCounter(counters.TaskGroup, counters.RemoteShuffleBytes, n)
+	sc.ctx.IncrCounter(counters.M3RGroup, counters.DedupHits, int64(de.enc.DedupHits()))
+	e.cost.ChargeNet(e.stats, n)
+
+	// "Arrive" at place d: decode into fresh objects.
+	dec := wio.NewDecoder(bytes.NewReader(payload))
+	byPartition := make(map[int][]wio.Pair)
+	for i := 0; i < de.n; i++ {
+		qv, err := dec.DecodeUvarint()
+		if err != nil {
+			return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
+		}
+		pair, err := dec.DecodePair()
+		if err != nil {
+			return fmt.Errorf("m3r: shuffle decode at place %d: %w", d, err)
+		}
+		q := int(qv)
+		byPartition[q] = append(byPartition[q], pair)
+	}
+	sortCmp := sc.x.rj.SortCmp
+	for q, pairs := range byPartition {
+		engine.SortPairs(pairs, sortCmp)
+		if err := sc.x.parts[q].addRun(sc.ctx, sc.src, pairs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort releases the collector's pooled resources after a failed task:
+// any encode buffers flush never shipped go back to the pool.
+func (sc *shuffleCollector) abort() {
+	for _, de := range sc.encoders {
+		if de.buf != nil {
+			de.buf.Reset()
+			encodeBufPool.Put(de.buf)
+			de.buf, de.enc = nil, nil
+		}
+	}
+	sc.encoders = nil
+	sc.localBufs = nil
 }
 
 // mapOnlyCollector sends map output straight to the output format and the
@@ -279,10 +311,12 @@ func (x *jobExec) newMapOnlyCollector(a *mapAssignment, taskJob *conf.JobConf, c
 		x.committer.SetupTask(taskJob, moc.taskID)
 		outputFormat, err := x.rj.NewOutputFormat()
 		if err != nil {
+			moc.abort()
 			return nil, err
 		}
 		rw, err := outputFormat.GetRecordWriter(taskJob, fileName)
 		if err != nil {
+			moc.abort()
 			return nil, err
 		}
 		moc.rw = rw
@@ -327,4 +361,19 @@ func (moc *mapOnlyCollector) close() error {
 		return moc.cacheW.Close()
 	}
 	return nil
+}
+
+// abort discards the failed task's partial output: the record writer's
+// uncommitted work directory and the partial cache entry, neither of which
+// may stay visible to later jobs.
+func (moc *mapOnlyCollector) abort() {
+	if moc.rw != nil {
+		moc.rw.Close()
+		moc.x.committer.AbortTask(moc.taskJob, moc.taskID)
+		moc.rw = nil
+	}
+	if moc.cacheW != nil {
+		moc.cacheW.Abort()
+		moc.cacheW = nil
+	}
 }

@@ -1,0 +1,178 @@
+// Package spill is the on-disk run format both engines share: records are
+// (uvarint keyLen, key bytes, uvarint valLen, value bytes), concatenated per
+// partition. A spill file is the partitions in order; an index (kept in
+// memory, like Hadoop's file.out.index) records each partition's byte range
+// as a Segment. The Hadoop engine writes map-side sort spills and shuffle
+// segments in this format; the M3R engine writes shuffle runs that exceed
+// its memory budget in the same format, so one reader and one merge serve
+// both engines.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"os"
+	"slices"
+
+	"m3r/internal/wio"
+)
+
+// Rec is one serialized record: key and value bytes without any framing.
+type Rec struct {
+	K, V []byte
+}
+
+// Size is the record's in-memory accounting size, Hadoop's
+// io.sort.mb-style estimate: payload plus maximal varint framing.
+func (r Rec) Size() int64 { return int64(len(r.K) + len(r.V) + 2*binary.MaxVarintLen32) }
+
+// WriteRec appends one record to w, returning the bytes written.
+func WriteRec(w *bufio.Writer, r Rec) (int64, error) {
+	var n int64
+	var scratch [binary.MaxVarintLen64]byte
+	m := binary.PutUvarint(scratch[:], uint64(len(r.K)))
+	if _, err := w.Write(scratch[:m]); err != nil {
+		return 0, err
+	}
+	n += int64(m)
+	if _, err := w.Write(r.K); err != nil {
+		return 0, err
+	}
+	n += int64(len(r.K))
+	m = binary.PutUvarint(scratch[:], uint64(len(r.V)))
+	if _, err := w.Write(scratch[:m]); err != nil {
+		return 0, err
+	}
+	n += int64(m)
+	if _, err := w.Write(r.V); err != nil {
+		return 0, err
+	}
+	n += int64(len(r.V))
+	return n, nil
+}
+
+// WriteRunFile writes recs as a single-segment file at path, returning the
+// bytes written. The M3R engine uses it to spill one sorted shuffle run.
+func WriteRunFile(path string, recs []Rec) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriter(f)
+	var total int64
+	for _, r := range recs {
+		n, err := WriteRec(w, r)
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		total += n
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return total, f.Close()
+}
+
+// Segment is one partition's byte range inside a spill file.
+type Segment struct {
+	Off, Len int64
+}
+
+// Stream reads records back from one byte range of a file.
+type Stream struct {
+	f   *os.File
+	br  *bufio.Reader
+	rem int64
+}
+
+// OpenSegment opens the byte range seg of the file at path.
+func OpenSegment(path string, seg Segment) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(seg.Off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Stream{f: f, br: bufio.NewReader(io.LimitReader(f, seg.Len)), rem: seg.Len}, nil
+}
+
+// OpenFile opens the whole file at path as one segment.
+func OpenFile(path string) (*Stream, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSegment(path, Segment{Off: 0, Len: st.Size()})
+}
+
+// Next returns the next record, or ok=false at the end of the segment. A
+// segment that ends before its declared length is consumed — the file was
+// truncated, or a record straddles the segment boundary — is an error
+// (io.ErrUnexpectedEOF), never a silent end-of-stream: rem > 0 here means
+// bytes are owed, so EOF can only be corruption.
+func (s *Stream) Next() (Rec, bool, error) {
+	if s.rem <= 0 {
+		return Rec{}, false, nil
+	}
+	kl, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Rec{}, false, unexpectedEOF(err)
+	}
+	if kl > uint64(s.rem) {
+		// A record cannot outsize its segment; reject before allocating.
+		return Rec{}, false, io.ErrUnexpectedEOF
+	}
+	k := make([]byte, kl)
+	if _, err := io.ReadFull(s.br, k); err != nil {
+		return Rec{}, false, unexpectedEOF(err)
+	}
+	vl, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Rec{}, false, unexpectedEOF(err)
+	}
+	if vl > uint64(s.rem) {
+		return Rec{}, false, io.ErrUnexpectedEOF
+	}
+	v := make([]byte, vl)
+	if _, err := io.ReadFull(s.br, v); err != nil {
+		return Rec{}, false, unexpectedEOF(err)
+	}
+	consumed := int64(uvarintLen(kl)) + int64(kl) + int64(uvarintLen(vl)) + int64(vl)
+	s.rem -= consumed
+	return Rec{K: k, V: v}, true, nil
+}
+
+// unexpectedEOF upgrades a mid-record io.EOF to io.ErrUnexpectedEOF.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Close releases the underlying file.
+func (s *Stream) Close() error { return s.f.Close() }
+
+// SortRecs orders serialized records by key with the raw comparator,
+// stably (Hadoop preserves input order among equal keys within a task).
+// Raw comparison plus the allocation-free slices sort keeps the spill sort
+// off both the deserializer and the garbage collector.
+func SortRecs(recs []Rec, cmp wio.RawComparator) {
+	slices.SortStableFunc(recs, func(a, b Rec) int {
+		return cmp.CompareRaw(a.K, b.K)
+	})
+}

@@ -1,0 +1,274 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"m3r/internal/types"
+	"m3r/internal/wio"
+)
+
+// writeRecs writes recs to a fresh file and returns its path and length.
+func writeRecs(t *testing.T, recs []Rec) (string, int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seg")
+	n, err := WriteRunFile(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, n
+}
+
+// readAll drains a stream, failing the test on error.
+func readAll(t *testing.T, s *Stream) []Rec {
+	t.Helper()
+	var out []Rec
+	for {
+		r, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestRecRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{K: []byte("key1"), V: []byte("value1")},
+		{K: []byte{}, V: []byte("empty key")},
+		{K: []byte("k"), V: []byte{}},
+		{K: nil, V: nil},
+	}
+	path, total := writeRecs(t, recs)
+	s, err := OpenSegment(path, Segment{Off: 0, Len: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := readAll(t, s)
+	if len(got) != len(recs) {
+		t.Fatalf("read %d recs, want %d", len(got), len(recs))
+	}
+	for i, want := range recs {
+		if string(got[i].K) != string(want.K) || string(got[i].V) != string(want.V) {
+			t.Fatalf("rec %d mismatch", i)
+		}
+	}
+}
+
+// TestRecRoundTripProperty is the property form: arbitrary byte contents
+// (including large values that cross the bufio boundary) survive the
+// write/read cycle, in order.
+func TestRecRoundTripProperty(t *testing.T) {
+	f := func(keys [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Rec, len(keys))
+		for i, k := range keys {
+			v := make([]byte, rng.Intn(9000)) // may exceed bufio's 4096 default
+			rng.Read(v)
+			recs[i] = Rec{K: k, V: v}
+		}
+		path := filepath.Join(t.TempDir(), "prop")
+		n, err := WriteRunFile(path, recs)
+		if err != nil {
+			return false
+		}
+		s, err := OpenSegment(path, Segment{Off: 0, Len: n})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, want := range recs {
+			got, ok, err := s.Next()
+			if err != nil || !ok {
+				return false
+			}
+			if !bytes.Equal(got.K, want.K) || !bytes.Equal(got.V, want.V) {
+				return false
+			}
+		}
+		_, ok, err := s.Next()
+		return !ok && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedSegmentIsAnError pins the truncation bugfix: a segment whose
+// file ends before the declared length must surface io.ErrUnexpectedEOF —
+// never a silent ok=false that drops the remaining records. Every possible
+// truncation point is tried, including record boundaries (where the old
+// code's ReadUvarint hit a clean EOF and silently ended the stream).
+func TestTruncatedSegmentIsAnError(t *testing.T) {
+	recs := []Rec{
+		{K: []byte("aa"), V: []byte("11")},
+		{K: []byte("bb"), V: []byte("2222")},
+		{K: []byte("cc"), V: []byte("3")},
+	}
+	path, total := writeRecs(t, recs)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != total {
+		t.Fatalf("file is %d bytes, writer reported %d", len(full), total)
+	}
+	for cut := int64(0); cut < total; cut++ {
+		trunc := filepath.Join(t.TempDir(), "trunc")
+		if err := os.WriteFile(trunc, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The segment still claims the full length; the bytes are missing.
+		s, err := OpenSegment(trunc, Segment{Off: 0, Len: total})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawErr := false
+		for {
+			_, ok, err := s.Next()
+			if err != nil {
+				if !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("cut %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+				}
+				sawErr = true
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+		s.Close()
+		if !sawErr {
+			t.Fatalf("cut %d: truncated segment read to a silent end-of-stream", cut)
+		}
+	}
+}
+
+// TestShortSegmentLengthIsAnError covers the other truncation shape: the
+// file is intact but the segment's declared length cuts a record in half.
+func TestShortSegmentLengthIsAnError(t *testing.T) {
+	recs := []Rec{{K: []byte("key"), V: []byte("value")}}
+	path, total := writeRecs(t, recs)
+	for cut := int64(1); cut < total; cut++ {
+		s, err := OpenSegment(path, Segment{Off: 0, Len: cut})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok, err := s.Next()
+		s.Close()
+		if ok || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("len %d of %d: ok=%v err=%v, want io.ErrUnexpectedEOF", cut, total, ok, err)
+		}
+	}
+}
+
+func TestSortRecsMatchesValues(t *testing.T) {
+	f := func(vals []int32) bool {
+		recs := make([]Rec, len(vals))
+		for i, v := range vals {
+			b, _ := wio.Marshal(types.NewInt(v))
+			recs[i] = Rec{K: b, V: nil}
+		}
+		SortRecs(recs, types.IntRawComparator{})
+		sorted := append([]int32(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			out := &types.IntWritable{}
+			if wio.Unmarshal(recs[i].K, out) != nil {
+				return false
+			}
+			if out.Get() != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	cases := map[uint64]int{0: 1, 127: 1, 128: 2, 16383: 2, 16384: 3}
+	for v, want := range cases {
+		if got := uvarintLen(v); got != want {
+			t.Errorf("uvarintLen(%d)=%d, want %d", v, got, want)
+		}
+	}
+}
+
+// FuzzStreamNext feeds arbitrary bytes through a Stream: it must never
+// panic, and whatever prefix parses as records must re-serialize to the
+// byte length the stream consumed.
+func FuzzStreamNext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})                         // one empty record
+	f.Add([]byte{2, 'a', 'b', 1, 'x'})          // one normal record
+	f.Add([]byte{2, 'a'})                       // truncated key
+	f.Add([]byte{0x80})                         // truncated varint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length, no bytes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Oversized length prefixes would make the reader allocate the
+		// declared size before discovering the bytes are missing; cap the
+		// input so fuzzing explores structure, not allocator limits.
+		if len(data) > 1<<16 {
+			return
+		}
+		path := filepath.Join(t.TempDir(), "fuzz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenSegment(path, Segment{Off: 0, Len: int64(len(data))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var parsed []Rec
+		for {
+			r, ok, err := s.Next()
+			if err != nil {
+				return // malformed tail: fine, as long as it is reported
+			}
+			if !ok {
+				break
+			}
+			if len(r.K)+len(r.V) > len(data) {
+				t.Fatalf("record larger than input: %d+%d bytes", len(r.K), len(r.V))
+			}
+			parsed = append(parsed, r)
+		}
+		// Whatever parsed must survive a canonical re-serialization cycle
+		// unchanged (varint length prefixes in arbitrary input may be
+		// non-minimal, so byte-identity with the input is not required).
+		out := filepath.Join(t.TempDir(), "rewrite")
+		n, err := WriteRunFile(out, parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := OpenSegment(out, Segment{Off: 0, Len: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		for i, want := range parsed {
+			got, ok, err := s2.Next()
+			if err != nil || !ok {
+				t.Fatalf("rec %d lost in rewrite: ok=%v err=%v", i, ok, err)
+			}
+			if !bytes.Equal(got.K, want.K) || !bytes.Equal(got.V, want.V) {
+				t.Fatalf("rec %d changed in rewrite", i)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package types
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 
 	"m3r/internal/wio"
 )
@@ -70,6 +71,60 @@ func (LongRawComparator) CompareRaw(a, b []byte) int {
 	return 0
 }
 
+// DoubleRawComparator orders serialized DoubleWritables by the IEEE-754
+// total order. A naive big-endian byte compare mis-orders every negative
+// double (their sign bit makes them compare above all positives, and their
+// magnitude bits grow downward); the total-order bit transform — flip all
+// bits of negatives, flip only the sign bit of non-negatives — maps doubles
+// onto unsigned-comparable keys:
+//
+//	-NaN < -Inf < … < -0 < +0 < … < +Inf < NaN
+//
+// Compare applies the same transform to the deserialized values so the
+// in-memory (M3R) and raw (Hadoop spill) paths sort identically. This is
+// Java's Double.compare order, which Hadoop's DoubleWritable.Comparator
+// uses: it differs from CompareTo only on NaN (totally ordered here,
+// unordered there) and on -0 < +0.
+type DoubleRawComparator struct{}
+
+// Compare implements wio.Comparator with the same total order CompareRaw
+// applies to serialized bytes.
+func (DoubleRawComparator) Compare(a, b wio.Writable) int {
+	return compareUint64(
+		totalOrderKey(math.Float64bits(a.(*DoubleWritable).V)),
+		totalOrderKey(math.Float64bits(b.(*DoubleWritable).V)),
+	)
+}
+
+// CompareRaw implements wio.RawComparator over the 8-byte big-endian
+// IEEE-754 serialization.
+func (DoubleRawComparator) CompareRaw(a, b []byte) int {
+	return compareUint64(
+		totalOrderKey(binary.BigEndian.Uint64(a)),
+		totalOrderKey(binary.BigEndian.Uint64(b)),
+	)
+}
+
+// totalOrderKey maps IEEE-754 bits onto unsigned-comparable keys: negatives
+// (sign bit set) are complemented so larger magnitudes sort lower,
+// non-negatives get the sign bit set so they sort above all negatives.
+func totalOrderKey(bits uint64) uint64 {
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+func compareUint64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
 // RawComparatorFor returns a raw comparator specialized to the named key
 // type when one exists, else nil. Engines consult this before falling back
 // to deserializing comparison.
@@ -81,6 +136,8 @@ func RawComparatorFor(typeName string) wio.RawComparator {
 		return IntRawComparator{}
 	case LongName:
 		return LongRawComparator{}
+	case DoubleName:
+		return DoubleRawComparator{}
 	}
 	return nil
 }
