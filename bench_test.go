@@ -160,6 +160,38 @@ func BenchmarkFig8_WordCount(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelMergeWordCount compares the reduce-side merge serial vs
+// staged (conf.KeyMergeParallelism) end-to-end, on both engines: the same
+// WordCount job, byte-identical output, only the merge topology differs.
+// With the feature off the code path is exactly the pre-staging merge, so
+// the serial legs double as the no-regression baseline.
+func BenchmarkParallelMergeWordCount(b *testing.B) {
+	for _, eng := range []string{"m3r", "hadoop"} {
+		for _, variant := range []struct {
+			name string
+			par  int
+		}{{"serial", 0}, {"staged4", 4}} {
+			b.Run(eng+"/"+variant.name, func(b *testing.B) {
+				c := newBenchCluster(b)
+				if err := wordcount.Generate(c.FS, "/data/t", 1<<20, 42); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					job := wordcount.NewJob("/data/t", fmt.Sprintf("/out/%d", i), benchNodes, true)
+					if variant.par > 0 {
+						job.SetInt(conf.KeyMergeParallelism, variant.par)
+						job.SetInt(conf.KeyMergeMinRuns, 2)
+					}
+					if _, err := pick(c, eng).Submit(job); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // benchSysml runs one SystemML-style algorithm per op.
 func benchSysml(b *testing.B, eng string, run func(d *sysml.Driver, dir string) error) {
 	c := newBenchCluster(b)

@@ -55,6 +55,18 @@ const (
 	// negative (the default) means unlimited: the paper's pure in-memory
 	// design point.
 	KeyM3RShuffleBudget = "m3r.shuffle.budget.bytes"
+	// KeyMergeParallelism enables the staged parallel reduce-side merge in
+	// both engines: when a partition has at least KeyMergeMinRuns runs, the
+	// run set splits into up to this many contiguous subsets, each merged
+	// on its own worker goroutine into a bounded intermediate stream, and a
+	// final tournament merges the streams. Unset or 0 (the default) keeps
+	// the merge serial; "auto" or a negative value resolves to GOMAXPROCS.
+	// Output is byte-identical to the serial merge in every configuration.
+	KeyMergeParallelism = "m3r.merge.parallelism"
+	// KeyMergeMinRuns is the run count below which the staged merge never
+	// engages (default engine.DefaultMergeMinRuns): merging a handful of
+	// runs is faster on one goroutine than through channel hand-offs.
+	KeyMergeMinRuns = "m3r.merge.min.runs"
 )
 
 // DefaultTempPrefix is the output-basename prefix that marks a path as

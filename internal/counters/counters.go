@@ -39,18 +39,21 @@ const (
 	TotalLaunchedReduces = "TOTAL_LAUNCHED_REDUCES"
 	DataLocalMaps        = "DATA_LOCAL_MAPS"
 
-	// M3R-specific counters.
-	CacheHitSplits     = "CACHE_HIT_SPLITS"
-	CacheMissSplits    = "CACHE_MISS_SPLITS"
-	SpilledRuns        = "SPILLED_RUNS"
-	SpilledBytes       = "SPILLED_BYTES"
-	LocalShufflePairs  = "LOCAL_SHUFFLE_PAIRS"
-	RemoteShufflePairs = "REMOTE_SHUFFLE_PAIRS"
-	RemoteShuffleBytes = "REMOTE_SHUFFLE_BYTES"
-	ClonedPairs        = "CLONED_PAIRS"
-	AliasedPairs       = "ALIASED_PAIRS"
-	DedupHits          = "DEDUP_HITS"
-	TempOutputsElided  = "TEMP_OUTPUTS_ELIDED"
+	// M3R-extension counters. Most are maintained only by the M3R engine;
+	// PARALLEL_MERGE_STAGES is also maintained by the Hadoop engine, which
+	// honors the same m3r.merge.* staging keys for its segment merge.
+	CacheHitSplits      = "CACHE_HIT_SPLITS"
+	CacheMissSplits     = "CACHE_MISS_SPLITS"
+	SpilledRuns         = "SPILLED_RUNS"
+	SpilledBytes        = "SPILLED_BYTES"
+	LocalShufflePairs   = "LOCAL_SHUFFLE_PAIRS"
+	RemoteShufflePairs  = "REMOTE_SHUFFLE_PAIRS"
+	RemoteShuffleBytes  = "REMOTE_SHUFFLE_BYTES"
+	ParallelMergeStages = "PARALLEL_MERGE_STAGES"
+	ClonedPairs         = "CLONED_PAIRS"
+	AliasedPairs        = "ALIASED_PAIRS"
+	DedupHits           = "DEDUP_HITS"
+	TempOutputsElided   = "TEMP_OUTPUTS_ELIDED"
 )
 
 // Counter is a single named accumulator, safe for concurrent use.

@@ -108,6 +108,7 @@ type CounterCells struct {
 	SpilledBytes        *counters.Counter
 	LocalShufflePairs   *counters.Counter
 	RemoteShufflePairs  *counters.Counter
+	ParallelMergeStages *counters.Counter
 	ClonedPairs         *counters.Counter
 	AliasedPairs        *counters.Counter
 }
@@ -126,6 +127,7 @@ func resolveCells(cs *counters.Counters) CounterCells {
 		SpilledBytes:        cs.Find(counters.M3RGroup, counters.SpilledBytes),
 		LocalShufflePairs:   cs.Find(counters.M3RGroup, counters.LocalShufflePairs),
 		RemoteShufflePairs:  cs.Find(counters.M3RGroup, counters.RemoteShufflePairs),
+		ParallelMergeStages: cs.Find(counters.M3RGroup, counters.ParallelMergeStages),
 		ClonedPairs:         cs.Find(counters.M3RGroup, counters.ClonedPairs),
 		AliasedPairs:        cs.Find(counters.M3RGroup, counters.AliasedPairs),
 	}

@@ -171,11 +171,9 @@ func (r *sliceRunReader) Next() (wio.Pair, bool, error) {
 func (r *sliceRunReader) Close() error { return nil }
 
 // RecSource is a stream of serialized spill records (spill.Stream or any
-// equivalent segment reader).
-type RecSource interface {
-	Next() (spill.Rec, bool, error)
-	Close() error
-}
+// equivalent segment reader) — the merge Source at the raw-record element
+// type.
+type RecSource = Source[spill.Rec]
 
 // decodingRunReader is the stream-backed leaf: it deserializes each raw
 // record into fresh writables of the run's declared key/value classes.
@@ -215,49 +213,48 @@ func (r *decodingRunReader) Next() (wio.Pair, bool, error) {
 
 func (r *decodingRunReader) Close() error { return r.src.Close() }
 
-// MergeIter streams the merge of sorted runs, in-memory and stream-backed
-// alike, directly into DriveReduce — no materialized merged copy. Stability
-// contract: readers must be given in source-task order, each run must be
-// internally sorted by cmp with equal keys in original emission order, and
-// ties across runs resolve to the lower reader index. Under that contract
-// the stream is identical to concatenating the runs in order and
-// stable-sorting the result.
-type MergeIter struct {
-	readers []RunReader
-	t       *Tournament[wio.Pair]
+// SourceMerge streams the merge of k ordered sources — the single merge
+// iterator in the tree, instantiated at wio.Pair for the in-memory engines
+// (MergeIter) and at spill.Rec for the Hadoop engine's raw-record segment
+// merger. Stability contract: sources must be given in source-task order,
+// each internally ordered by cmp with equal elements in original emission
+// order; ties across sources resolve to the lower source index. Under that
+// contract the stream is identical to concatenating the sources in order
+// and stable-sorting the result.
+type SourceMerge[T any] struct {
+	srcs []Source[T]
+	t    *Tournament[T]
 }
 
-// NewMergeIter opens a merge over readers. On error the readers are closed.
-func NewMergeIter(readers []RunReader, cmp wio.Comparator) (*MergeIter, error) {
-	k := len(readers)
-	heads := make([]wio.Pair, k)
+// NewSourceMerge opens a merge over sources, closing them all on error.
+func NewSourceMerge[T any](srcs []Source[T], cmp func(a, b T) int) (*SourceMerge[T], error) {
+	k := len(srcs)
+	heads := make([]T, k)
 	live := make([]bool, k)
-	for i, r := range readers {
-		h, ok, err := r.Next()
+	for i, s := range srcs {
+		h, ok, err := s.Next()
 		if err != nil {
-			for _, r := range readers {
-				r.Close()
+			for _, s := range srcs {
+				s.Close()
 			}
 			return nil, err
 		}
 		heads[i], live[i] = h, ok
 	}
-	t := NewTournament(heads, live, func(a, b wio.Pair) int {
-		return cmp.Compare(a.Key, b.Key)
-	})
-	return &MergeIter{readers: readers, t: t}, nil
+	return &SourceMerge[T]{srcs: srcs, t: NewTournament(heads, live, cmp)}, nil
 }
 
-// Next implements PairIter.
-func (m *MergeIter) Next() (wio.Pair, bool, error) {
+// Next returns the globally next element in merge order.
+func (m *SourceMerge[T]) Next() (T, bool, error) {
+	var zero T
 	w, ok := m.t.Winner()
 	if !ok {
-		return wio.Pair{}, false, nil
+		return zero, false, nil
 	}
 	out := m.t.Head(w)
-	h, ok, err := m.readers[w].Next()
+	h, ok, err := m.srcs[w].Next()
 	if err != nil {
-		return wio.Pair{}, false, err
+		return zero, false, err
 	}
 	if ok {
 		m.t.Replace(w, h)
@@ -267,15 +264,27 @@ func (m *MergeIter) Next() (wio.Pair, bool, error) {
 	return out, true, nil
 }
 
-// Close closes every run reader, returning the first error.
-func (m *MergeIter) Close() error {
+// Close closes every source, returning the first error.
+func (m *SourceMerge[T]) Close() error {
 	var first error
-	for _, r := range m.readers {
-		if err := r.Close(); err != nil && first == nil {
+	for _, s := range m.srcs {
+		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// MergeIter is the pair-level SourceMerge: it streams the merge of sorted
+// runs, in-memory and stream-backed alike, directly into DriveReduce — no
+// materialized merged copy.
+type MergeIter = SourceMerge[wio.Pair]
+
+// NewMergeIter opens a merge over readers. On error the readers are closed.
+func NewMergeIter(readers []RunReader, cmp wio.Comparator) (*MergeIter, error) {
+	return NewSourceMerge(WidenSources[wio.Pair](readers), func(a, b wio.Pair) int {
+		return cmp.Compare(a.Key, b.Key)
+	})
 }
 
 // MergeRuns merges sorted in-memory runs into a single sorted slice. It has

@@ -307,6 +307,9 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 		for _, sp := range b.spills {
 			s, err := spill.OpenSegment(sp.path, sp.segments[p])
 			if err != nil {
+				for _, open := range streams {
+					open.Close()
+				}
 				f.Close()
 				return nil, err
 			}
@@ -319,9 +322,9 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 		}
 		var segLen int64
 		for {
-			r, ok, err := m.next()
+			r, ok, err := m.Next()
 			if err != nil {
-				m.close()
+				m.Close()
 				f.Close()
 				return nil, err
 			}
@@ -330,13 +333,13 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 			}
 			n, err := spill.WriteRec(w, r)
 			if err != nil {
-				m.close()
+				m.Close()
 				f.Close()
 				return nil, err
 			}
 			segLen += n
 		}
-		m.close()
+		m.Close()
 		segments[p] = spill.Segment{Off: off, Len: segLen}
 		off += segLen
 	}

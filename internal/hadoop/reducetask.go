@@ -56,15 +56,21 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 	for _, p := range segPaths {
 		s, err := spill.OpenFile(p)
 		if err != nil {
+			for _, open := range streams {
+				open.Close()
+			}
 			return err
 		}
 		streams = append(streams, s)
 	}
-	m, err := newMerger(streams, rawCmp)
+	// The segment merge stages across worker goroutines when the task has
+	// enough map segments and the job asks for it (conf.KeyMergeParallelism)
+	// — byte-identical output either way.
+	m, err := newStagedMerger(streams, rawCmp, engine.MergeConfigFromJob(taskJob), ctx.Cells.ParallelMergeStages)
 	if err != nil {
 		return err
 	}
-	defer m.close()
+	defer m.Close()
 
 	// Reduce phase.
 	reducer := r.rj.NewReduceRun()
@@ -203,7 +209,7 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 		return v, wio.Unmarshal(b, v)
 	}
 
-	cur, ok, err := m.next()
+	cur, ok, err := m.Next()
 	if err != nil {
 		return err
 	}
@@ -285,7 +291,7 @@ func (it *mergeValues) Next() (wio.Writable, bool) {
 		return nil, false
 	}
 	it.ctx.Cells.ReduceInputRecords.Increment(1)
-	next, ok, err := it.m.next()
+	next, ok, err := it.m.Next()
 	if err != nil {
 		it.err = err
 		return nil, false

@@ -3,6 +3,7 @@ package hadoop
 import (
 	"fmt"
 
+	"m3r/internal/counters"
 	"m3r/internal/engine"
 	"m3r/internal/spill"
 	"m3r/internal/wio"
@@ -13,59 +14,32 @@ import (
 // engine.Tournament, the same loser tree the in-memory merge uses. This
 // file only binds the two to the Hadoop engine's raw-record streams.
 
-// merger streams the union of several sorted segments in sorted order: a
-// tournament of losers over the streams' head records — ceil(log2 k)
+// merger streams the union of several sorted record sources in sorted
+// order: engine.SourceMerge instantiated at raw spill records, ceil(log2 k)
 // raw-key comparisons per record with no heap push/pop bookkeeping. Ties
-// break by stream index for determinism.
-type merger struct {
-	streams []*spill.Stream
-	t       *engine.Tournament[spill.Rec]
-}
+// break by source index for determinism.
+type merger = engine.SourceMerge[spill.Rec]
 
 // newMerger opens a merge over the given streams, closing them on error.
 func newMerger(streams []*spill.Stream, cmp wio.RawComparator) (*merger, error) {
-	k := len(streams)
-	heads := make([]spill.Rec, k)
-	live := make([]bool, k)
-	for i, s := range streams {
-		r, ok, err := s.Next()
-		if err != nil {
-			for _, s := range streams {
-				s.Close()
-			}
-			return nil, err
-		}
-		heads[i], live[i] = r, ok
-	}
-	t := engine.NewTournament(heads, live, func(a, b spill.Rec) int {
-		return cmp.CompareRaw(a.K, b.K)
-	})
-	return &merger{streams: streams, t: t}, nil
+	return engine.NewSourceMerge(engine.WidenSources[spill.Rec](streams), recCompare(cmp))
 }
 
-// next returns the globally next record in sort order.
-func (m *merger) next() (spill.Rec, bool, error) {
-	w, ok := m.t.Winner()
-	if !ok {
-		return spill.Rec{}, false, nil
-	}
-	out := m.t.Head(w)
-	r, ok, err := m.streams[w].Next()
-	if err != nil {
-		return spill.Rec{}, false, err
-	}
-	if ok {
-		m.t.Replace(w, r)
-	} else {
-		m.t.Exhaust(w)
-	}
-	return out, true, nil
+// newStagedMerger opens a merge over the given streams, staging it across
+// concurrent subset mergers when cfg and the segment count warrant (the
+// reduce-side sort phase of a task with many map segments); otherwise it is
+// exactly newMerger. Output is byte-identical either way. stagesCell, when
+// non-nil, observes the engaged stage count.
+func newStagedMerger(streams []*spill.Stream, cmp wio.RawComparator,
+	cfg engine.MergeConfig, stagesCell *counters.Counter) (*merger, error) {
+	rc := recCompare(cmp)
+	return engine.NewSourceMerge(engine.StageIfConfigured(engine.WidenSources[spill.Rec](streams), rc, cfg, stagesCell), rc)
 }
 
-func (m *merger) close() {
-	for _, s := range m.streams {
-		s.Close()
-	}
+// recCompare adapts a raw key comparator to the record-element shape the
+// tournament and staging take.
+func recCompare(cmp wio.RawComparator) func(a, b spill.Rec) int {
+	return func(a, b spill.Rec) int { return cmp.CompareRaw(a.K, b.K) }
 }
 
 // rawKeyComparator returns the comparator used for all on-disk sorting: the

@@ -56,11 +56,11 @@ func TestMergerProducesGlobalOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer m.close()
+	defer m.Close()
 	var got []int32
 	var srcOfFours []byte
 	for {
-		r, ok, err := m.next()
+		r, ok, err := m.Next()
 		if err != nil {
 			t.Fatal(err)
 		}

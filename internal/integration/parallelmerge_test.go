@@ -1,0 +1,163 @@
+package integration_test
+
+import (
+	"errors"
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/mapred"
+	"m3r/internal/spill"
+	"m3r/internal/wio"
+	"m3r/internal/wordcount"
+)
+
+// stageJob turns the staged parallel merge on for a job, with the run-count
+// floor lowered so the small test partitions engage it.
+func stageJob(job *conf.JobConf, parallelism int) *conf.JobConf {
+	job.SetInt(conf.KeyMergeParallelism, parallelism)
+	job.SetInt(conf.KeyMergeMinRuns, 2)
+	return job
+}
+
+// requireSameLines asserts two sorted output line sets are identical.
+func requireSameLines(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d lines vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: line %d differs: %q vs %q", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestM3RParallelMergeEquivalence is the end-to-end half of the equivalence
+// harness for the M3R engine: the same WordCount job with the staged merge
+// off, on (all-resident runs), and on with a tiny shuffle budget (mixed
+// in-memory and spilled merge leaves, decoded on worker goroutines) must
+// produce identical output, with the PARALLEL_MERGE_STAGES counter
+// observing exactly the staged runs.
+func TestM3RParallelMergeEquivalence(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/pm", 128<<10, 9); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/pm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := wordcount.NewJob("/data/pm", "/out/pm-serial", 3, false)
+	rep, err := c.m3r.Submit(serial)
+	if err != nil {
+		t.Fatalf("serial submit: %v", err)
+	}
+	if n := rep.Counters.Value(counters.M3RGroup, counters.ParallelMergeStages); n != 0 {
+		t.Fatalf("staging off, but PARALLEL_MERGE_STAGES = %d", n)
+	}
+	base := readTextOutput(t, c.fs, "/out/pm-serial")
+	checkCounts(t, base, want)
+
+	staged := stageJob(wordcount.NewJob("/data/pm", "/out/pm-staged", 3, false), 4)
+	rep, err = c.m3r.Submit(staged)
+	if err != nil {
+		t.Fatalf("staged submit: %v", err)
+	}
+	if n := rep.Counters.Value(counters.M3RGroup, counters.ParallelMergeStages); n == 0 {
+		t.Fatal("staging on, but no PARALLEL_MERGE_STAGES counted")
+	}
+	requireSameLines(t, "staged vs serial", base, readTextOutput(t, c.fs, "/out/pm-staged"))
+
+	mixed := stageJob(wordcount.NewJob("/data/pm", "/out/pm-mixed", 3, false), 4)
+	mixed.SetInt64(conf.KeyM3RShuffleBudget, 4<<10)
+	rep, err = c.m3r.Submit(mixed)
+	if err != nil {
+		t.Fatalf("staged+budget submit: %v", err)
+	}
+	if n := rep.Counters.Value(counters.M3RGroup, counters.SpilledRuns); n == 0 {
+		t.Fatal("tiny budget produced no spilled runs")
+	}
+	if n := rep.Counters.Value(counters.M3RGroup, counters.ParallelMergeStages); n == 0 {
+		t.Fatal("staging on with spills, but no PARALLEL_MERGE_STAGES counted")
+	}
+	requireSameLines(t, "staged+spilled vs serial", base, readTextOutput(t, c.fs, "/out/pm-mixed"))
+}
+
+// TestHadoopParallelMergeEquivalence is the Hadoop-engine half: the
+// reduce-side segment merge staged across workers must write byte-identical
+// output to the serial merge of the same job.
+func TestHadoopParallelMergeEquivalence(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/hpm", 256<<10, 13); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/hpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := wordcount.NewJob("/data/hpm", "/out/hpm-serial", 3, false)
+	if _, err := c.hadoop.Submit(serial); err != nil {
+		t.Fatalf("serial submit: %v", err)
+	}
+	base := readTextOutput(t, c.fs, "/out/hpm-serial")
+	checkCounts(t, base, want)
+
+	staged := stageJob(wordcount.NewJob("/data/hpm", "/out/hpm-staged", 3, false), 4)
+	rep, err := c.hadoop.Submit(staged)
+	if err != nil {
+		t.Fatalf("staged submit: %v", err)
+	}
+	if n := rep.Counters.Value(counters.M3RGroup, counters.ParallelMergeStages); n == 0 {
+		t.Fatal("staging on, but no PARALLEL_MERGE_STAGES counted")
+	}
+	requireSameLines(t, "staged vs serial", base, readTextOutput(t, c.fs, "/out/hpm-staged"))
+}
+
+// failingReducer fails every reduce call; it drives the abort-mid-merge
+// teardown test.
+type failingReducer struct{ mapred.Base }
+
+func (*failingReducer) Reduce(_ wio.Writable, _ mapred.ValueIterator,
+	_ mapred.OutputCollector, _ mapred.Reporter) error {
+	return errors.New("injected reduce failure")
+}
+
+func init() {
+	mapred.RegisterReducer("test.FailingReducer", func() mapred.Reducer { return &failingReducer{} })
+}
+
+// TestM3RAbortedMergeClosesSpillStreams pins the early-termination close
+// path: a reducer failing mid-staged-merge, with spilled runs decoding on
+// worker goroutines, must not strand a single spilled-run file handle —
+// every open segment is closed by the time the failed Submit returns.
+func TestM3RAbortedMergeClosesSpillStreams(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/abort", 128<<10, 17); err != nil {
+		t.Fatal(err)
+	}
+	base := spill.OpenStreamCount()
+	job := stageJob(wordcount.NewJob("/data/abort", "/out/abort", 3, false), 4)
+	job.SetInt64(conf.KeyM3RShuffleBudget, 2<<10)
+	job.SetReducerClass("test.FailingReducer")
+	if _, err := c.m3r.Submit(job); err == nil {
+		t.Fatal("job with failing reducer should fail")
+	}
+	if n := spill.OpenStreamCount(); n != base {
+		t.Fatalf("%d spill streams left open after aborted reduce", n-base)
+	}
+
+	// Same abort with the serial merge: the single-goroutine close path
+	// must be leak-free too.
+	serial := wordcount.NewJob("/data/abort", "/out/abort2", 3, false)
+	serial.SetInt64(conf.KeyM3RShuffleBudget, 2<<10)
+	serial.SetReducerClass("test.FailingReducer")
+	if _, err := c.m3r.Submit(serial); err == nil {
+		t.Fatal("job with failing reducer should fail")
+	}
+	if n := spill.OpenStreamCount(); n != base {
+		t.Fatalf("%d spill streams left open after serial aborted reduce", n-base)
+	}
+}

@@ -170,6 +170,7 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		cacheEnabled:  job.GetBool(conf.KeyM3RCache, true),
 		dedup:         job.GetBool(conf.KeyM3RDedup, true),
 		shuffleBudget: job.GetInt64(conf.KeyM3RShuffleBudget, 0),
+		mergeCfg:      engine.MergeConfigFromJob(job),
 	}
 	defer x.cleanupSpill()
 	if x.shuffleBudget > 0 {
@@ -249,6 +250,11 @@ type jobExec struct {
 	spillMu       sync.Mutex
 	spillDir      string
 	spillSeq      atomic.Int64
+
+	// Staged parallel reduce-side merge (conf.KeyMergeParallelism /
+	// conf.KeyMergeMinRuns): partitions with enough runs merge their run
+	// set through concurrent subset mergers instead of one goroutine.
+	mergeCfg engine.MergeConfig
 }
 
 // placeBudget is one place's shuffle memory accountant. Reservations are
@@ -750,12 +756,16 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	// The HMR API promises reducers sorted input even in memory. Map tasks
 	// shipped sorted runs (resident or spilled); merge them stably through
 	// the tournament tree, streaming straight into the reducer instead of
-	// materializing a merged copy of the partition.
+	// materializing a merged copy of the partition. With staging configured
+	// and enough runs, contiguous subsets of the run set merge on worker
+	// goroutines — spilled runs decode on those workers, overlapping disk
+	// decode with final-merge consumption — and the final tournament still
+	// streams into DriveReduce.
 	readers, err := x.parts[q].takeReaders()
 	if err != nil {
 		return err
 	}
-	merged, err := engine.NewMergeIter(readers, x.rj.SortCmp)
+	merged, err := engine.NewStagedMergeIter(readers, x.rj.SortCmp, x.mergeCfg, ctx.Cells.ParallelMergeStages)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"slices"
+	"sync/atomic"
 
 	"m3r/internal/wio"
 )
@@ -83,10 +84,20 @@ type Segment struct {
 
 // Stream reads records back from one byte range of a file.
 type Stream struct {
-	f   *os.File
-	br  *bufio.Reader
-	rem int64
+	f      *os.File
+	br     *bufio.Reader
+	rem    int64
+	closed bool
 }
+
+// openStreams counts Streams opened but not yet closed. Every open segment
+// holds a file handle, so a merge that terminates early (reducer error, job
+// abort) and strands a Stream is a descriptor leak; tests pin the count
+// back to its baseline after such exits.
+var openStreams atomic.Int64
+
+// OpenStreamCount reports how many Streams are currently open.
+func OpenStreamCount() int64 { return openStreams.Load() }
 
 // OpenSegment opens the byte range seg of the file at path.
 func OpenSegment(path string, seg Segment) (*Stream, error) {
@@ -98,6 +109,7 @@ func OpenSegment(path string, seg Segment) (*Stream, error) {
 		f.Close()
 		return nil, err
 	}
+	openStreams.Add(1)
 	return &Stream{f: f, br: bufio.NewReader(io.LimitReader(f, seg.Len)), rem: seg.Len}, nil
 }
 
@@ -164,8 +176,17 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// Close releases the underlying file.
-func (s *Stream) Close() error { return s.f.Close() }
+// Close releases the underlying file. It is idempotent — merge teardown
+// paths may close a stream that an error path already closed — but not
+// concurrency-safe: a stream has exactly one owner at a time.
+func (s *Stream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	openStreams.Add(-1)
+	return s.f.Close()
+}
 
 // SortRecs orders serialized records by key with the raw comparator,
 // stably (Hadoop preserves input order among equal keys within a task).

@@ -199,6 +199,40 @@ func TestSortRecsMatchesValues(t *testing.T) {
 	}
 }
 
+// TestOpenStreamAccounting pins the open-segment bookkeeping leak tests
+// rely on: every OpenSegment raises the count by one, Close lowers it
+// exactly once no matter how many teardown paths call it.
+func TestOpenStreamAccounting(t *testing.T) {
+	base := OpenStreamCount()
+	path, total := writeRecs(t, []Rec{{K: []byte("k"), V: []byte("v")}})
+	s1, err := OpenSegment(path, Segment{Off: 0, Len: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSegment(path, Segment{Off: 0, Len: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := OpenStreamCount(); n != base+2 {
+		t.Fatalf("after two opens: count %d, want %d", n, base+2)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil { // double close must not double-decrement
+		t.Fatal(err)
+	}
+	if n := OpenStreamCount(); n != base+1 {
+		t.Fatalf("after closing one stream twice: count %d, want %d", n, base+1)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := OpenStreamCount(); n != base {
+		t.Fatalf("after closing both: count %d, want %d", n, base)
+	}
+}
+
 func TestUvarintLen(t *testing.T) {
 	cases := map[uint64]int{0: 1, 127: 1, 128: 2, 16383: 2, 16384: 3}
 	for v, want := range cases {
