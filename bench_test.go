@@ -192,6 +192,39 @@ func BenchmarkParallelMergeWordCount(b *testing.B) {
 	}
 }
 
+// BenchmarkSpillQueueWordCount measures the async spill pipeline under a
+// tight shuffle budget: every leg spills most of its shuffle to disk, and
+// the legs differ only in who writes it — the flushing map task inline
+// (sync, the PR-2/PR-3 baseline path) or the per-place spill worker
+// through a bounded queue, overlapping disk with mapping. The readmit leg
+// additionally promotes spilled runs back to memory as released budget
+// makes room.
+func BenchmarkSpillQueueWordCount(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		queue   int
+		readmit bool
+	}{{"sync", 0, false}, {"queued8", 8, false}, {"queued8-readmit", 8, true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			c := newBenchCluster(b)
+			if err := wordcount.Generate(c.FS, "/data/t", 1<<20, 42); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job := wordcount.NewJob("/data/t", fmt.Sprintf("/out/%d", i), benchNodes, true)
+				job.SetInt64(conf.KeyM3RShuffleBudget, 16<<10)
+				job.SetInt(conf.KeyM3RSpillQueue, variant.queue)
+				job.SetBool(conf.KeyM3RReadmit, variant.readmit)
+				if _, err := c.M3R.Submit(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.Stats.Get(sim.SpillBytes))/float64(b.N)/1024, "spillKB/op")
+		})
+	}
+}
+
 // benchSysml runs one SystemML-style algorithm per op.
 func benchSysml(b *testing.B, eng string, run func(d *sysml.Driver, dir string) error) {
 	c := newBenchCluster(b)

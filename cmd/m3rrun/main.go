@@ -32,6 +32,12 @@ var (
 	iterations = flag.Int("iters", 3, "iterations for iterative workloads")
 	useServer  = flag.Bool("server", false, "submit through the TCP jobtracker protocol (server mode)")
 	sizeMB     = flag.Int64("mb", 4, "input size in MB (wordcount)")
+	// Shuffle memory lifecycle knobs (shorthand for the corresponding -D
+	// keys; see internal/conf: m3r.shuffle.budget.bytes / .spill.queue /
+	// .readmit).
+	budget     = flag.Int64("shuffle-budget", 0, "per-place shuffle budget in bytes (0 = unlimited)")
+	spillQueue = flag.Int("spill-queue", 0, "async spill queue depth per place (0 = synchronous spills)")
+	readmit    = flag.Bool("readmit", false, "readmit spilled runs to memory when released budget makes room")
 	confProps  propFlags
 )
 
@@ -74,6 +80,20 @@ func (e confOverrideEngine) Submit(job *conf.JobConf) (*engine.Report, error) {
 func main() {
 	flag.Var(&confProps, "D", "job configuration override key=value (repeatable)")
 	flag.Parse()
+	// Forward a lifecycle flag whenever the operator set it — including an
+	// explicit 0/false: a key set on the job (even to its default) overrides
+	// the engine's env-injected defaults, so `-shuffle-budget 0` really does
+	// mean unlimited in a shell that exports M3R_SHUFFLE_BUDGET_BYTES.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "shuffle-budget":
+			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyM3RShuffleBudget, *budget))
+		case "spill-queue":
+			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyM3RSpillQueue, *spillQueue))
+		case "readmit":
+			confProps = append(confProps, fmt.Sprintf("%s=%t", conf.KeyM3RReadmit, *readmit))
+		}
+	})
 	cluster, err := lab.New(lab.Options{Nodes: *nodes})
 	if err != nil {
 		log.Fatalf("building cluster: %v", err)

@@ -42,10 +42,20 @@ const (
 	// M3R-extension counters. Most are maintained only by the M3R engine;
 	// PARALLEL_MERGE_STAGES is also maintained by the Hadoop engine, which
 	// honors the same m3r.merge.* staging keys for its segment merge.
-	CacheHitSplits      = "CACHE_HIT_SPLITS"
-	CacheMissSplits     = "CACHE_MISS_SPLITS"
-	SpilledRuns         = "SPILLED_RUNS"
-	SpilledBytes        = "SPILLED_BYTES"
+	CacheHitSplits  = "CACHE_HIT_SPLITS"
+	CacheMissSplits = "CACHE_MISS_SPLITS"
+	SpilledRuns     = "SPILLED_RUNS"
+	SpilledBytes    = "SPILLED_BYTES"
+	// SpillQueueDepth is the high-water mark of the async spill queue
+	// (m3r.shuffle.spill.queue) across the job's places: how far map flush
+	// ran ahead of the spill worker's disk writes.
+	SpillQueueDepth = "SPILL_QUEUE_DEPTH"
+	// BudgetReleasedBytes counts shuffle-budget bytes handed back to the
+	// place accountants as reduce tasks drained resident runs.
+	BudgetReleasedBytes = "BUDGET_RELEASED_BYTES"
+	// ReadmittedRuns counts spilled runs promoted back to memory at merge
+	// open because released budget made room (m3r.shuffle.readmit).
+	ReadmittedRuns      = "READMITTED_RUNS"
 	LocalShufflePairs   = "LOCAL_SHUFFLE_PAIRS"
 	RemoteShufflePairs  = "REMOTE_SHUFFLE_PAIRS"
 	RemoteShuffleBytes  = "REMOTE_SHUFFLE_BYTES"

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant is a byte-budget ledger with an incremental release path: the
+// M3R engine keeps one per place to bound the memory its resident shuffle
+// runs occupy (conf.KeyM3RShuffleBudget). Reservations are made at collect
+// time when a run is installed resident; they are released as the reduce
+// phase drains the run (see NewReleasingRunReader), so a long reduce phase
+// hands memory back while it is still running and later partitions — or
+// later jobs of a server-mode sequence — can readmit runs to memory instead
+// of spilling them.
+//
+// Invariants (property-tested): Held never goes negative and never exceeds
+// Limit, concurrent Reserve/Release conserve bytes, and released bytes are
+// immediately re-reservable.
+type Accountant struct {
+	mu    sync.Mutex
+	limit int64
+	held  int64
+}
+
+// NewAccountant returns an accountant over limit bytes. A non-positive
+// limit admits nothing (Reserve always fails) — callers gate unlimited
+// operation before constructing one.
+func NewAccountant(limit int64) *Accountant {
+	return &Accountant{limit: limit}
+}
+
+// Limit returns the accountant's byte limit.
+func (a *Accountant) Limit() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
+
+// Held returns the bytes currently reserved.
+func (a *Accountant) Held() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.held
+}
+
+// Reserve charges n bytes against the budget, reporting whether they fit.
+// Non-positive n is rejected: a zero-byte run has nothing to account, and
+// accepting negative reservations would let arithmetic bugs masquerade as
+// releases.
+func (a *Accountant) Reserve(n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.held+n > a.limit {
+		return false
+	}
+	a.held += n
+	return true
+}
+
+// Release returns n previously reserved bytes to the budget. Releasing more
+// than is held is a lifecycle bug (a double release, or a release of bytes
+// never reserved); it panics rather than silently corrupting the ledger into
+// admitting unbounded memory.
+func (a *Accountant) Release(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("engine: Accountant.Release(%d): negative release", n))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.held {
+		panic(fmt.Sprintf("engine: Accountant.Release(%d) with only %d held", n, a.held))
+	}
+	a.held -= n
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestAccountantRandomOpSequences drives the accountant through random
+// reserve/release sequences against a trivial model, checking the ledger
+// invariants the shuffle lifecycle rests on: held never goes negative,
+// never exceeds the limit, and tracks the model exactly.
+func TestAccountantRandomOpSequences(t *testing.T) {
+	check := func(limit uint16, ops []uint16) bool {
+		a := NewAccountant(int64(limit))
+		var outstanding []int64 // model: sizes currently reserved
+		var held int64
+		for i, op := range ops {
+			if i%3 != 0 && len(outstanding) > 0 {
+				// Release a previously reserved size.
+				j := int(op) % len(outstanding)
+				n := outstanding[j]
+				outstanding = append(outstanding[:j], outstanding[j+1:]...)
+				a.Release(n)
+				held -= n
+			} else {
+				n := int64(op%512) + 1
+				ok := a.Reserve(n)
+				if wantOK := held+n <= a.Limit(); ok != wantOK {
+					t.Logf("Reserve(%d) with held=%d limit=%d: got %v want %v", n, held, a.Limit(), ok, wantOK)
+					return false
+				}
+				if ok {
+					outstanding = append(outstanding, n)
+					held += n
+				}
+			}
+			if got := a.Held(); got != held || got < 0 || got > a.Limit() {
+				t.Logf("held=%d model=%d limit=%d", got, held, a.Limit())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccountantReleasedBudgetReReservable pins the property the
+// incremental release path depends on: bytes handed back are immediately
+// admissible again, so a drained partition's budget readmits later runs.
+func TestAccountantReleasedBudgetReReservable(t *testing.T) {
+	a := NewAccountant(100)
+	if !a.Reserve(100) {
+		t.Fatal("full-limit reserve refused")
+	}
+	if a.Reserve(1) {
+		t.Fatal("over-limit reserve admitted")
+	}
+	a.Release(60)
+	if !a.Reserve(60) {
+		t.Fatal("released budget not re-reservable")
+	}
+	if a.Held() != 100 {
+		t.Fatalf("held=%d want 100", a.Held())
+	}
+	a.Release(100)
+	if a.Held() != 0 {
+		t.Fatalf("held=%d want 0 after full release", a.Held())
+	}
+}
+
+// TestAccountantRejectsNonPositiveReserve: zero/negative reservations must
+// not slip through as no-ops or disguised releases.
+func TestAccountantRejectsNonPositiveReserve(t *testing.T) {
+	a := NewAccountant(10)
+	if a.Reserve(0) || a.Reserve(-5) {
+		t.Fatal("non-positive reserve admitted")
+	}
+	if a.Held() != 0 {
+		t.Fatalf("held=%d want 0", a.Held())
+	}
+}
+
+// TestAccountantOverReleasePanics: releasing bytes never reserved is a
+// lifecycle bug and must fail loudly, not corrupt the ledger.
+func TestAccountantOverReleasePanics(t *testing.T) {
+	a := NewAccountant(10)
+	a.Reserve(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	a.Release(6)
+}
+
+// TestAccountantConcurrentConservation hammers one accountant from many
+// goroutines, each reserving and releasing its own sizes; under -race this
+// doubles as the data-race check. Total bytes are conserved: when every
+// goroutine has released what it reserved, held is exactly zero and the
+// full limit is reservable again.
+func TestAccountantConcurrentConservation(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	a := NewAccountant(int64(workers) * 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(w%7) + 1
+			var holding int64
+			for i := 0; i < rounds; i++ {
+				if a.Reserve(n) {
+					holding += n
+				}
+				if holding >= n && i%2 == 1 {
+					a.Release(n)
+					holding -= n
+				}
+			}
+			if holding > 0 {
+				a.Release(holding)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Held(); got != 0 {
+		t.Fatalf("held=%d after all goroutines released everything", got)
+	}
+	if !a.Reserve(a.Limit()) {
+		t.Fatal("full limit not reservable after conservation round-trip")
+	}
+}

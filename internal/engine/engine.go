@@ -106,6 +106,8 @@ type CounterCells struct {
 	SpilledRecords      *counters.Counter
 	SpilledRuns         *counters.Counter
 	SpilledBytes        *counters.Counter
+	BudgetReleasedBytes *counters.Counter
+	ReadmittedRuns      *counters.Counter
 	LocalShufflePairs   *counters.Counter
 	RemoteShufflePairs  *counters.Counter
 	ParallelMergeStages *counters.Counter
@@ -125,6 +127,8 @@ func resolveCells(cs *counters.Counters) CounterCells {
 		SpilledRecords:      cs.Find(counters.TaskGroup, counters.SpilledRecords),
 		SpilledRuns:         cs.Find(counters.M3RGroup, counters.SpilledRuns),
 		SpilledBytes:        cs.Find(counters.M3RGroup, counters.SpilledBytes),
+		BudgetReleasedBytes: cs.Find(counters.M3RGroup, counters.BudgetReleasedBytes),
+		ReadmittedRuns:      cs.Find(counters.M3RGroup, counters.ReadmittedRuns),
 		LocalShufflePairs:   cs.Find(counters.M3RGroup, counters.LocalShufflePairs),
 		RemoteShufflePairs:  cs.Find(counters.M3RGroup, counters.RemoteShufflePairs),
 		ParallelMergeStages: cs.Find(counters.M3RGroup, counters.ParallelMergeStages),

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"sync"
+
+	"m3r/internal/wio"
+)
+
+// CloseAllOnErr closes every already-open source after a later open failed,
+// discarding close errors — the open error is the one the caller surfaces.
+// It is the shared teardown loop of every merge-open call site (the Hadoop
+// engine's segment opens, the M3R engine's spilled-run opens): a merge that
+// fails to open its k-th source must not strand the k-1 file handles it
+// already holds.
+func CloseAllOnErr[C interface{ Close() error }](open []C) {
+	for _, s := range open {
+		s.Close()
+	}
+}
+
+// releasingRunReader wraps a RunReader with a one-shot release callback,
+// fired the first time the run is known to be done with its backing memory:
+// at exhaustion (the merge consumed every pair) or at Close (the merge was
+// torn down early), whichever comes first. The M3R engine uses it to hand a
+// resident run's bytes back to its place's budget Accountant as MergeIter /
+// StageSources drain the run — the incremental release that lets a long
+// reduce phase readmit later runs to memory instead of spilling them.
+type releasingRunReader struct {
+	inner   RunReader
+	release func()
+	once    sync.Once
+}
+
+// NewReleasingRunReader wraps inner so release runs exactly once, at the
+// run's exhaustion or close. release must be non-nil.
+func NewReleasingRunReader(inner RunReader, release func()) RunReader {
+	return &releasingRunReader{inner: inner, release: release}
+}
+
+func (r *releasingRunReader) Next() (wio.Pair, bool, error) {
+	p, ok, err := r.inner.Next()
+	if !ok || err != nil {
+		// Exhausted (or failed — the merge will tear down either way): the
+		// run's pairs have all been handed to the consumer. The slice itself
+		// stays alive until the consumer drops it, but the shuffle's claim on
+		// the bytes ends here, which is what the accountant tracks.
+		r.once.Do(r.release)
+	}
+	return p, ok, err
+}
+
+func (r *releasingRunReader) Close() error {
+	r.once.Do(r.release)
+	return r.inner.Close()
+}

@@ -161,6 +161,12 @@ func NewSliceRunReader(pairs []wio.Pair) RunReader {
 
 func (r *sliceRunReader) Next() (wio.Pair, bool, error) {
 	if r.pos >= len(r.pairs) {
+		// Drop the backing slice at exhaustion so the run's memory is
+		// collectable as soon as the consumer lets go of its pairs — the
+		// physical counterpart of the budget release a ReleasingRunReader
+		// wrapper performs at this moment.
+		r.pairs = nil
+		r.pos = 0
 		return wio.Pair{}, false, nil
 	}
 	p := r.pairs[r.pos]

@@ -307,9 +307,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 		for _, sp := range b.spills {
 			s, err := spill.OpenSegment(sp.path, sp.segments[p])
 			if err != nil {
-				for _, open := range streams {
-					open.Close()
-				}
+				engine.CloseAllOnErr(streams)
 				f.Close()
 				return nil, err
 			}

@@ -56,9 +56,7 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 	for _, p := range segPaths {
 		s, err := spill.OpenFile(p)
 		if err != nil {
-			for _, open := range streams {
-				open.Close()
-			}
+			engine.CloseAllOnErr(streams)
 			return err
 		}
 		streams = append(streams, s)

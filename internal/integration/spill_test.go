@@ -86,6 +86,9 @@ func TestM3RShuffleBudgetSpills(t *testing.T) {
 	}
 
 	unbudgeted := wordcount.NewJob("/data/b", "/out/unbudgeted", 3, false)
+	// Explicit 0 (not merely unset): the control leg must stay in-memory
+	// even when CI's tight-budget leg injects a budget via the environment.
+	unbudgeted.SetInt64(conf.KeyM3RShuffleBudget, 0)
 	rep2, err := c.m3r.Submit(unbudgeted)
 	if err != nil {
 		t.Fatalf("unbudgeted submit: %v", err)

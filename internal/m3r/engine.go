@@ -161,6 +161,7 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		return nil, err
 	}
 
+	applyEnvDefaults(job)
 	x := &jobExec{
 		e:             e,
 		job:           job,
@@ -170,13 +171,20 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		cacheEnabled:  job.GetBool(conf.KeyM3RCache, true),
 		dedup:         job.GetBool(conf.KeyM3RDedup, true),
 		shuffleBudget: job.GetInt64(conf.KeyM3RShuffleBudget, 0),
+		readmit:       job.GetBool(conf.KeyM3RReadmit, false),
 		mergeCfg:      engine.MergeConfigFromJob(job),
 	}
-	defer x.cleanupSpill()
+	defer x.cleanup()
 	if x.shuffleBudget > 0 {
-		x.budgets = make([]*placeBudget, e.rt.NumPlaces())
+		x.budgets = make([]*engine.Accountant, e.rt.NumPlaces())
 		for p := range x.budgets {
-			x.budgets[p] = &placeBudget{budget: x.shuffleBudget}
+			x.budgets[p] = engine.NewAccountant(x.shuffleBudget)
+		}
+		if depth := job.GetInt(conf.KeyM3RSpillQueue, 0); depth > 0 {
+			x.spillQ = make([]*spillQueue, e.rt.NumPlaces())
+			for p := range x.spillQ {
+				x.spillQ[p] = newSpillQueue(x, p, depth)
+			}
 		}
 	}
 	outPath := job.OutputPath()
@@ -239,14 +247,21 @@ type jobExec struct {
 	dedup        bool
 	cmu          sync.Mutex
 
-	// Shuffle memory budget (conf.KeyM3RShuffleBudget): when positive,
-	// each place accounts its resident shuffle runs against budgets[place]
-	// and runs beyond the budget spill to disk in the shared spill record
-	// format (internal/spill), re-entering the merge through stream-backed
-	// leaves. Zero or negative means unlimited — the paper's pure
-	// in-memory design point, with no accounting overhead.
+	// Shuffle memory lifecycle (conf.KeyM3RShuffleBudget / KeyM3RSpillQueue
+	// / KeyM3RReadmit): when the budget is positive, each place accounts
+	// its resident shuffle runs against budgets[place] and runs beyond the
+	// budget spill to disk in the shared spill record format
+	// (internal/spill), re-entering the merge through stream-backed leaves.
+	// With a queue depth configured the spill writes run on per-place
+	// worker goroutines (spillQ), overlapping disk with mapping; the
+	// reservations release incrementally as reduce tasks drain resident
+	// runs, and — with readmit — freed budget promotes spilled runs back to
+	// memory at merge open. Zero or negative budget means unlimited: the
+	// paper's pure in-memory design point, with no accounting overhead.
 	shuffleBudget int64
-	budgets       []*placeBudget
+	readmit       bool
+	budgets       []*engine.Accountant
+	spillQ        []*spillQueue
 	spillMu       sync.Mutex
 	spillDir      string
 	spillSeq      atomic.Int64
@@ -257,24 +272,23 @@ type jobExec struct {
 	mergeCfg engine.MergeConfig
 }
 
-// placeBudget is one place's shuffle memory accountant. Reservations are
-// held for the life of the job: the shuffle's resident runs are only
-// released to the collector when the reduce phase consumes them.
-type placeBudget struct {
-	mu     sync.Mutex
-	budget int64
-	held   int64
-}
-
-// reserve charges n bytes against the budget, reporting whether they fit.
-func (b *placeBudget) reserve(n int64) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.held+n > b.budget {
-		return false
+// applyEnvDefaults fills the shuffle-lifecycle knobs from the environment
+// when the job leaves them unset. CI's tight-budget leg drives the whole
+// suite through the spill pipeline this way (M3R_SHUFFLE_BUDGET_BYTES=4096)
+// without every test knowing about budgets; a job that sets a key
+// explicitly — including an explicit 0 for "unlimited" — always wins.
+func applyEnvDefaults(job *conf.JobConf) {
+	for key, env := range map[string]string{
+		conf.KeyM3RShuffleBudget: "M3R_SHUFFLE_BUDGET_BYTES",
+		conf.KeyM3RSpillQueue:    "M3R_SHUFFLE_SPILL_QUEUE",
+		conf.KeyM3RReadmit:       "M3R_SHUFFLE_READMIT",
+	} {
+		if !job.Has(key) {
+			if v := os.Getenv(env); v != "" {
+				job.Set(key, v)
+			}
+		}
 	}
-	b.held += n
-	return true
 }
 
 // spillPath returns a fresh file path for one spilled run, creating the
@@ -292,6 +306,18 @@ func (x *jobExec) spillPath() (string, error) {
 	return filepath.Join(x.spillDir, fmt.Sprintf("run_%06d", x.spillSeq.Add(1))), nil
 }
 
+// cleanup tears the spill pipeline down at job end (success or failure):
+// every spill worker is drained first — no goroutine outlives the job, and
+// no queued write can race the directory removal — then the spill directory
+// goes. On the success path the workers were already drained at the shuffle
+// barrier, so the drains here are idempotent no-ops.
+func (x *jobExec) cleanup() {
+	for _, q := range x.spillQ {
+		q.drain() // a worker error already surfaced through the job
+	}
+	x.cleanupSpill()
+}
+
 // cleanupSpill removes every spilled run at job end (success or failure).
 func (x *jobExec) cleanupSpill() {
 	x.spillMu.Lock()
@@ -300,6 +326,17 @@ func (x *jobExec) cleanupSpill() {
 		os.RemoveAll(x.spillDir)
 		x.spillDir = ""
 	}
+}
+
+// noteSpillQueueDepth records the deepest spill-queue backlog any place saw
+// (SPILL_QUEUE_DEPTH): how far map flush ran ahead of the disk.
+func (x *jobExec) noteSpillQueueDepth(hw int64) {
+	x.cmu.Lock()
+	c := x.jc.Find(counters.M3RGroup, counters.SpillQueueDepth)
+	if hw > c.Value() {
+		c.SetValue(hw)
+	}
+	x.cmu.Unlock()
 }
 
 func (x *jobExec) mergeCounters(ctx *engine.TaskContext) {
@@ -418,6 +455,17 @@ func (x *jobExec) run(assignments []*mapAssignment) error {
 			}
 			if mapFailed.Load() {
 				return nil // another place failed; the job is already lost
+			}
+			// The barrier extends over the async spill pipeline: after it,
+			// no map task anywhere can enqueue, so draining this place's
+			// worker guarantees every overflow run bound for this place's
+			// partitions is on disk and installed before a reducer opens
+			// its merge — and a spill-worker failure fails the job here.
+			if x.spillQ != nil {
+				if err := x.spillQ[p].drain(); err != nil {
+					return err
+				}
+				x.noteSpillQueueDepth(x.spillQ[p].highWater.Load())
 			}
 			// Reduce phase: this place owns the partitions the stable
 			// mapping assigns to it (§3.2.2.2).
@@ -614,20 +662,27 @@ type partitionInput struct {
 }
 
 // sourceRun is one map task's sorted contribution to a partition: resident
-// pairs, or a spilled run on disk (exactly one of the two is set).
+// pairs, or a spilled run on disk (exactly one of the two is set). size is
+// the budget accounting size a resident run holds reserved (0 when the job
+// is unbudgeted or the run could not be encoded), released back to the
+// place's accountant when the reduce merge drains the run.
 type sourceRun struct {
 	src   int
 	pairs []wio.Pair
+	size  int64
 	spill *spilledRun
 }
 
 // spilledRun locates one run spilled in the shared spill record format.
 // The key/value class names ride in memory (not on disk, keeping the file
 // format byte-identical to the Hadoop engine's) so the merge leaf can
-// deserialize records back into writables.
+// deserialize records back into writables; size is the run's budget
+// accounting size, so readmission can reserve before promoting it back to
+// memory.
 type spilledRun struct {
 	path               string
 	keyClass, valClass string
+	size               int64
 }
 
 // addRun installs one source task's sorted run. Each map task contributes
@@ -652,18 +707,15 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 		pi.install(sourceRun{src: src, pairs: pairs})
 		return nil
 	}
-	if x.budgets[pi.place].reserve(size) {
-		pi.install(sourceRun{src: src, pairs: pairs})
+	if x.budgets[pi.place].Reserve(size) {
+		pi.install(sourceRun{src: src, pairs: pairs, size: size})
 		return nil
 	}
-	path, err := x.spillPath()
-	if err != nil {
-		return err
-	}
-	n, err := spill.WriteRunFile(path, recs)
-	if err != nil {
-		return err
-	}
+	// Overflow: the run goes to disk. Counters, stats and cost are charged
+	// here, before the write — identically whether the write happens inline
+	// or later on the spill worker — so per-job accounting does not depend
+	// on the queue setting.
+	n := spill.EncodedLen(recs)
 	ctx.Cells.SpilledRuns.Increment(1)
 	ctx.Cells.SpilledBytes.Increment(n)
 	ctx.Cells.SpilledRecords.Increment(int64(len(recs)))
@@ -671,8 +723,11 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 	e.stats.Add(sim.SpillBytes, n)
 	e.stats.Add(sim.SpillFiles, 1)
 	e.cost.ChargeDisk(e.stats, n)
-	pi.install(sourceRun{src: src, spill: &spilledRun{path: path, keyClass: keyClass, valClass: valClass}})
-	return nil
+	req := spillReq{pi: pi, src: src, recs: recs, keyClass: keyClass, valClass: valClass, size: size}
+	if x.spillQ != nil {
+		return x.spillQ[pi.place].enqueue(req)
+	}
+	return writeSpill(x, req)
 }
 
 func (pi *partitionInput) install(r sourceRun) {
@@ -714,28 +769,86 @@ func encodeRun(pairs []wio.Pair) ([]spill.Rec, string, string, int64, error) {
 // task, detaching them from the partition. Source order is the merge's
 // stability tie-break: equal keys surface in map-task order, exactly as the
 // old concatenate-then-stable-sort path produced them, whether a run stayed
-// resident or spilled.
-func (pi *partitionInput) takeReaders() ([]engine.RunReader, error) {
+// resident, spilled, or was readmitted.
+//
+// Budgeted runs get the incremental-release wrapper: as the merge exhausts
+// (or abandons) a resident run, its reservation returns to the place's
+// accountant, so a long reduce phase frees memory while it is still
+// running. With readmission enabled, a spilled run whose size now fits the
+// freed budget is promoted back to a resident run here — decoded once,
+// merged from memory — instead of stream-decoding off disk.
+func (pi *partitionInput) takeReaders(ctx *engine.TaskContext) ([]engine.RunReader, error) {
+	x := pi.x
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
 	slices.SortStableFunc(pi.runs, func(a, b sourceRun) int { return a.src - b.src })
+	var acct *engine.Accountant
+	if x.budgets != nil {
+		acct = x.budgets[pi.place]
+	}
 	out := make([]engine.RunReader, 0, len(pi.runs))
 	for _, r := range pi.runs {
 		if r.spill == nil {
-			out = append(out, engine.NewSliceRunReader(r.pairs))
+			rd := engine.NewSliceRunReader(r.pairs)
+			if acct != nil && r.size > 0 {
+				rd = releasingReader(rd, acct, r.size, ctx)
+			}
+			out = append(out, rd)
+			continue
+		}
+		if x.readmit && acct != nil && acct.Reserve(r.spill.size) {
+			pairs, err := readSpilledRun(r.spill)
+			if err != nil {
+				acct.Release(r.spill.size)
+				engine.CloseAllOnErr(out)
+				return nil, err
+			}
+			ctx.Cells.ReadmittedRuns.Increment(1)
+			out = append(out, releasingReader(engine.NewSliceRunReader(pairs), acct, r.spill.size, ctx))
 			continue
 		}
 		s, err := spill.OpenFile(r.spill.path)
 		if err != nil {
-			for _, rd := range out {
-				rd.Close()
-			}
+			engine.CloseAllOnErr(out)
 			return nil, err
 		}
 		out = append(out, engine.NewDecodingRunReader(s, r.spill.keyClass, r.spill.valClass))
 	}
 	pi.runs = nil
 	return out, nil
+}
+
+// releasingReader wraps a resident run's reader to hand size bytes back to
+// acct exactly once — when the merge exhausts or closes the run — counting
+// them in BUDGET_RELEASED_BYTES.
+func releasingReader(rd engine.RunReader, acct *engine.Accountant, size int64, ctx *engine.TaskContext) engine.RunReader {
+	cell := ctx.Cells.BudgetReleasedBytes
+	return engine.NewReleasingRunReader(rd, func() {
+		acct.Release(size)
+		cell.Increment(size)
+	})
+}
+
+// readSpilledRun decodes a spilled run fully back into fresh writables —
+// the readmission read. The caller holds the run's budget reservation.
+func readSpilledRun(sr *spilledRun) ([]wio.Pair, error) {
+	s, err := spill.OpenFile(sr.path)
+	if err != nil {
+		return nil, err
+	}
+	rd := engine.NewDecodingRunReader(s, sr.keyClass, sr.valClass)
+	defer rd.Close()
+	var pairs []wio.Pair
+	for {
+		p, ok, err := rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return pairs, nil
+		}
+		pairs = append(pairs, p)
+	}
 }
 
 // runReduceTask executes one reduce partition at its stable place.
@@ -761,7 +874,7 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	// goroutines — spilled runs decode on those workers, overlapping disk
 	// decode with final-merge consumption — and the final tournament still
 	// streams into DriveReduce.
-	readers, err := x.parts[q].takeReaders()
+	readers, err := x.parts[q].takeReaders(ctx)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"m3r/internal/conf"
 	"m3r/internal/counters"
@@ -63,9 +64,29 @@ type destEncoder struct {
 
 // encodeBufPool recycles the remote shuffle's encode buffers across map
 // tasks and jobs; steady-state sequences reuse the grown buffers instead of
-// re-paying their allocation every task.
-var encodeBufPool = sync.Pool{
-	New: func() any { return new(bytes.Buffer) },
+// re-paying their allocation every task. encodeBufsOut counts buffers
+// checked out and not yet returned: every exit path of a task — commit,
+// error, abort, panic — must bring it back to baseline, which the
+// fault-injection tests pin (a leak here quietly bleeds grown buffers out
+// of the pool on every failed job).
+var (
+	encodeBufPool = sync.Pool{
+		New: func() any { return new(bytes.Buffer) },
+	}
+	encodeBufsOut atomic.Int64
+)
+
+// getEncodeBuf checks an encode buffer out of the pool.
+func getEncodeBuf() *bytes.Buffer {
+	encodeBufsOut.Add(1)
+	return encodeBufPool.Get().(*bytes.Buffer)
+}
+
+// putEncodeBuf resets and returns a buffer to the pool.
+func putEncodeBuf(b *bytes.Buffer) {
+	b.Reset()
+	encodeBufPool.Put(b)
+	encodeBufsOut.Add(-1)
 }
 
 func (x *jobExec) newShuffleCollector(a *mapAssignment, ctx *engine.TaskContext) *shuffleCollector {
@@ -151,7 +172,7 @@ func (sc *shuffleCollector) deliver(q int, key, value wio.Writable, immutable bo
 	// unmarked output is copied before the serializer ever sees it.
 	de := sc.encoders[d]
 	if de == nil {
-		de = &destEncoder{buf: encodeBufPool.Get().(*bytes.Buffer)}
+		de = &destEncoder{buf: getEncodeBuf()}
 		de.enc = wio.NewEncoder(de.buf, sc.x.dedup && immutable)
 		sc.encoders[d] = de
 	}
@@ -219,8 +240,7 @@ func (sc *shuffleCollector) shipRemote(d int, de *destEncoder) error {
 	// The pooled buffer returns to encodeBufPool on every exit path —
 	// error returns must not bleed grown buffers out of the pool.
 	defer func() {
-		de.buf.Reset()
-		encodeBufPool.Put(de.buf)
+		putEncodeBuf(de.buf)
 		de.buf, de.enc = nil, nil
 	}()
 	e := sc.x.e
@@ -266,8 +286,7 @@ func (sc *shuffleCollector) shipRemote(d int, de *destEncoder) error {
 func (sc *shuffleCollector) abort() {
 	for _, de := range sc.encoders {
 		if de.buf != nil {
-			de.buf.Reset()
-			encodeBufPool.Put(de.buf)
+			putEncodeBuf(de.buf)
 			de.buf, de.enc = nil, nil
 		}
 	}

@@ -1,0 +1,167 @@
+package m3r
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"m3r/internal/spill"
+)
+
+// This file implements the async spill pipeline: when a shuffle run
+// overflows its place's memory budget, the flushing map task no longer
+// writes it to disk inline — it hands the encoded run to the place's spill
+// worker through a bounded queue (conf.KeyM3RSpillQueue) and returns to
+// mapping, so disk writes overlap map compute instead of serializing into
+// map flush. The queue's bound is the backpressure: a map phase that
+// outruns the disk blocks in enqueue rather than growing an unbounded
+// backlog of encoded runs.
+//
+// Lifecycle: workers start at job submit (one per place, only when a budget
+// and a queue depth are configured) and are drained at the shuffle barrier,
+// so every queued run is on disk and installed in its partition before any
+// reducer opens its merge. A worker write error — or a panic — fails the
+// job: the first failure is recorded, every spill still queued is cancelled
+// (discarded, never written), and enqueue/drain surface the error to the
+// map phase and the barrier respectively. The worker keeps consuming the
+// channel after a failure so blocked enqueuers always unblock; nothing in
+// the pipeline can hang the collector.
+
+// spillWriteRun is the spill write entry point. Tests swap it to inject
+// disk faults: hard open errors, disk-full truncation mid-file, panics.
+var spillWriteRun = spill.WriteRunFile
+
+// spillReq is one overflow run queued for (or handed inline to) the spill
+// write path: the encoded records plus everything needed to install the
+// spilled run in its partition afterwards.
+type spillReq struct {
+	pi                 *partitionInput
+	src                int
+	recs               []spill.Rec
+	keyClass, valClass string
+	size               int64 // budget accounting size, kept for readmission
+}
+
+// writeSpill writes one overflow run to disk and installs it in its
+// partition — the single spill write path, run inline by the map task when
+// no queue is configured and by the place's spill worker otherwise.
+func writeSpill(x *jobExec, req spillReq) error {
+	path, err := x.spillPath()
+	if err != nil {
+		return err
+	}
+	if _, err := spillWriteRun(path, req.recs); err != nil {
+		return err
+	}
+	req.pi.install(sourceRun{src: req.src, spill: &spilledRun{
+		path: path, keyClass: req.keyClass, valClass: req.valClass, size: req.size,
+	}})
+	return nil
+}
+
+// spillQueue is one place's async spill pipeline: a bounded channel feeding
+// a single worker goroutine.
+type spillQueue struct {
+	x       *jobExec
+	place   int
+	ch      chan spillReq
+	done    chan struct{}
+	closeCh sync.Once
+
+	mu     sync.Mutex
+	err    error       // first failure; set before failed
+	failed atomic.Bool // fast-path flag: cancel queued spills, fail enqueue
+
+	depth     atomic.Int64
+	highWater atomic.Int64 // max queue depth observed (SPILL_QUEUE_DEPTH)
+}
+
+// newSpillQueue starts place's spill worker with the given queue capacity.
+func newSpillQueue(x *jobExec, place, depth int) *spillQueue {
+	q := &spillQueue{
+		x:     x,
+		place: place,
+		ch:    make(chan spillReq, depth),
+		done:  make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+// run is the worker loop. It always drains the channel to close — after a
+// failure it discards instead of writing — so an enqueuer blocked on a full
+// queue can never hang.
+func (q *spillQueue) run() {
+	defer close(q.done)
+	for req := range q.ch {
+		q.depth.Add(-1)
+		if q.failed.Load() {
+			continue // cancelled: a prior failure voids every queued spill
+		}
+		if err := q.write(req); err != nil {
+			q.fail(err)
+		}
+	}
+}
+
+// write performs one queued spill, converting a panic anywhere under the
+// write path into an error so a panicking worker still drains its queue and
+// fails the job instead of hanging the collector.
+func (q *spillQueue) write(req spillReq) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("spill worker panicked: %v", p)
+		}
+	}()
+	return writeSpill(q.x, req)
+}
+
+// fail records the first failure and flips the cancel flag. Order matters:
+// err is published before failed, so any reader that observes failed finds
+// the error behind the mutex.
+func (q *spillQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = fmt.Errorf("m3r: spill worker at place %d: %w", q.place, err)
+	}
+	q.mu.Unlock()
+	q.failed.Store(true)
+}
+
+// failure returns the recorded first error.
+func (q *spillQueue) failure() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// enqueue hands one overflow run to the worker, blocking when the queue is
+// full — the backpressure that bounds how far map flush runs ahead of the
+// disk. After a worker failure it returns that error immediately, failing
+// the enqueuing map task (and with it the job).
+func (q *spillQueue) enqueue(req spillReq) error {
+	if q.failed.Load() {
+		return q.failure()
+	}
+	d := q.depth.Add(1)
+	for {
+		hw := q.highWater.Load()
+		if d <= hw || q.highWater.CompareAndSwap(hw, d) {
+			break
+		}
+	}
+	q.ch <- req
+	return nil
+}
+
+// drain closes the queue, waits for the worker to finish every pending
+// write, and reports the worker's first error. Idempotent: the shuffle
+// barrier drains on the success path and job cleanup drains again
+// unconditionally, so a worker goroutine can never outlive its job. Callers
+// must ensure no enqueue can race a drain (the map phase is globally done
+// before either drain site runs).
+func (q *spillQueue) drain() error {
+	q.closeCh.Do(func() { close(q.ch) })
+	<-q.done
+	return q.failure()
+}

@@ -28,29 +28,34 @@ type Rec struct {
 // io.sort.mb-style estimate: payload plus maximal varint framing.
 func (r Rec) Size() int64 { return int64(len(r.K) + len(r.V) + 2*binary.MaxVarintLen32) }
 
-// WriteRec appends one record to w, returning the bytes written.
+// EncodedLen is the record's exact on-disk length in the spill record
+// format: actual varint framing plus payload — the single length formula
+// shared by WriteRec's byte count and the aggregate EncodedLen (a unit test
+// pins it to the bytes WriteRunFile really produces).
+func (r Rec) EncodedLen() int64 {
+	return int64(uvarintLen(uint64(len(r.K)))) + int64(len(r.K)) +
+		int64(uvarintLen(uint64(len(r.V)))) + int64(len(r.V))
+}
+
+// WriteRec appends one record to w, returning the bytes written
+// (r.EncodedLen() by construction).
 func WriteRec(w *bufio.Writer, r Rec) (int64, error) {
-	var n int64
 	var scratch [binary.MaxVarintLen64]byte
 	m := binary.PutUvarint(scratch[:], uint64(len(r.K)))
 	if _, err := w.Write(scratch[:m]); err != nil {
 		return 0, err
 	}
-	n += int64(m)
 	if _, err := w.Write(r.K); err != nil {
 		return 0, err
 	}
-	n += int64(len(r.K))
 	m = binary.PutUvarint(scratch[:], uint64(len(r.V)))
 	if _, err := w.Write(scratch[:m]); err != nil {
 		return 0, err
 	}
-	n += int64(m)
 	if _, err := w.Write(r.V); err != nil {
 		return 0, err
 	}
-	n += int64(len(r.V))
-	return n, nil
+	return r.EncodedLen(), nil
 }
 
 // WriteRunFile writes recs as a single-segment file at path, returning the
@@ -75,6 +80,19 @@ func WriteRunFile(path string, recs []Rec) (int64, error) {
 		return 0, err
 	}
 	return total, f.Close()
+}
+
+// EncodedLen returns the exact on-disk length of recs in the spill record
+// format — the value WriteRunFile returns for them. The M3R engine's
+// async spill queue charges counters and cost at enqueue time with it, so
+// per-job accounting is identical whether the write happens inline or later
+// on the spill worker.
+func EncodedLen(recs []Rec) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.EncodedLen()
+	}
+	return n
 }
 
 // Segment is one partition's byte range inside a spill file.

@@ -306,3 +306,43 @@ func FuzzStreamNext(f *testing.F) {
 		}
 	})
 }
+
+// TestEncodedLenMatchesBytesOnDisk pins the enqueue-time accounting formula
+// to ground truth: EncodedLen, WriteRunFile's return, and the size of the
+// file actually produced must agree for every record shape — empty keys and
+// values, multi-byte varint lengths, and fuzzer-shaped mixes. If the record
+// framing ever changes, this is the test that catches the formula drifting
+// from the bytes.
+func TestEncodedLenMatchesBytesOnDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	blob := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	cases := [][]Rec{
+		nil,
+		{{K: nil, V: nil}},
+		{{K: []byte("k"), V: nil}, {K: nil, V: []byte("v")}},
+		{{K: blob(127), V: blob(128)}},  // 1- vs 2-byte varint boundary
+		{{K: blob(300), V: blob(20000)}},
+		{{K: blob(1), V: blob(1)}, {K: blob(5000), V: blob(3)}, {K: nil, V: blob(129)}},
+	}
+	for i, recs := range cases {
+		path := filepath.Join(t.TempDir(), "run")
+		n, err := WriteRunFile(path, recs)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if el := EncodedLen(recs); el != n {
+			t.Errorf("case %d: EncodedLen=%d but WriteRunFile returned %d", i, el, n)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if st.Size() != n {
+			t.Errorf("case %d: file is %d bytes, accounting says %d", i, st.Size(), n)
+		}
+	}
+}
