@@ -35,10 +35,16 @@ var (
 	// Shuffle memory lifecycle knobs (shorthand for the corresponding -D
 	// keys; see internal/conf: m3r.shuffle.budget.bytes / .spill.queue /
 	// .readmit).
-	budget     = flag.Int64("shuffle-budget", 0, "per-place shuffle budget in bytes (0 = unlimited)")
+	budget     = flag.Int64("shuffle-budget", 0, "per-job, per-place shuffle budget in bytes (0 = unlimited; with -engine-shuffle-budget, the job's cap within the pool)")
 	spillQueue = flag.Int("spill-queue", 0, "async spill queue depth per place (0 = synchronous spills)")
 	readmit    = flag.Bool("readmit", false, "readmit spilled runs to memory when released budget makes room")
-	confProps  propFlags
+	// The engine pool is engine-lifetime state (m3r.engine.shuffle.budget.bytes),
+	// so it configures the cluster, not a job: all jobs of the sequence —
+	// including concurrent server-mode submissions — contend for this one
+	// per-place pool, with the largest-first policy arbitrating overflow.
+	engineBudget = flag.Int64("engine-shuffle-budget", 0,
+		"engine-scoped per-place shuffle memory pool in bytes, shared by all jobs of the sequence (0 = M3R_ENGINE_SHUFFLE_BUDGET_BYTES env default, negative = no pool)")
+	confProps propFlags
 )
 
 // propFlags collects repeatable -D key=value job configuration overrides,
@@ -94,7 +100,7 @@ func main() {
 			confProps = append(confProps, fmt.Sprintf("%s=%t", conf.KeyM3RReadmit, *readmit))
 		}
 	})
-	cluster, err := lab.New(lab.Options{Nodes: *nodes})
+	cluster, err := lab.New(lab.Options{Nodes: *nodes, ShuffleBudgetBytes: *engineBudget})
 	if err != nil {
 		log.Fatalf("building cluster: %v", err)
 	}

@@ -19,7 +19,11 @@ import (
 )
 
 func main() {
-	cluster, err := lab.New(lab.Options{Nodes: 2})
+	// The engine-scoped shuffle pool: every job this server runs —
+	// including concurrent async submissions — reserves shuffle memory
+	// from one 256 KiB-per-place pool instead of each claiming its own
+	// budget; under contention the largest resident runs spill first.
+	cluster, err := lab.New(lab.Options{Nodes: 2, ShuffleBudgetBytes: 256 << 10})
 	if err != nil {
 		log.Fatalf("building cluster: %v", err)
 	}
@@ -58,4 +62,6 @@ func main() {
 		log.Fatalf("poll: %v", err)
 	}
 	fmt.Printf("async job state=%s in %v\n", st.State, st.Report.Wall.Round(1000))
+	fmt.Printf("shuffle pool held after the sequence: %d bytes (drains to zero between jobs)\n",
+		cluster.M3R.ShufflePoolHeldBytes())
 }

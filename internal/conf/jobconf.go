@@ -48,13 +48,29 @@ const (
 	KeyForceHadoop = "m3r.job.force.hadoop"   // submit this job to Hadoop even under M3R
 	KeyM3RDedup    = "m3r.shuffle.dedup"      // default true
 	KeyM3RCache    = "m3r.cache.enabled"      // default true
-	// KeyM3RShuffleBudget bounds, per place, the bytes of shuffled runs the
-	// M3R engine keeps resident (in the Hadoop engine's record-size
-	// accounting); runs beyond it spill to disk in the shared spill record
-	// format and are merged back through stream-backed leaves. Zero or
-	// negative (the default) means unlimited: the paper's pure in-memory
-	// design point.
+	// KeyM3RShuffleBudget bounds, per place, the bytes of shuffled runs one
+	// job keeps resident (in the Hadoop engine's record-size accounting);
+	// runs beyond it spill to disk in the shared spill record format and
+	// are merged back through stream-backed leaves. On an engine with a
+	// shuffle pool (KeyM3REngineShuffleBudget) this is the job's cap
+	// *within* the pool; unset means the pool limit alone governs, and an
+	// explicit zero or negative value opts the job out of shuffle
+	// accounting entirely — the paper's pure in-memory design point. On an
+	// unpooled engine, unset or non-positive means unlimited, as before.
 	KeyM3RShuffleBudget = "m3r.shuffle.budget.bytes"
+	// KeyM3REngineShuffleBudget is the engine-scoped, per-place shuffle
+	// memory pool shared by every job of the engine's sequence (server
+	// mode's motivating workload: two concurrent jobs must contend for one
+	// operator-configured pool instead of each reserving a full per-place
+	// budget). It is engine-lifetime configuration, not per-job: the M3R
+	// engine reads it at construction from m3r.Options.ShuffleBudgetBytes
+	// or the M3R_ENGINE_SHUFFLE_BUDGET_BYTES environment default; setting
+	// the key on a submitted job has no effect. Zero or negative means no
+	// pool. When a reservation contends, the pool spills largest-first:
+	// the incoming run stays resident if re-spilling a larger cold
+	// resident run of the same job makes room (EVICTED_RESIDENT_RUNS),
+	// keeping more small runs in memory per byte.
+	KeyM3REngineShuffleBudget = "m3r.engine.shuffle.budget.bytes"
 	// KeyM3RSpillQueue bounds the per-place async spill queue: when
 	// positive, shuffle runs that overflow the budget are handed to a
 	// per-place spill worker goroutine through a channel of this capacity,

@@ -108,6 +108,8 @@ type CounterCells struct {
 	SpilledBytes        *counters.Counter
 	BudgetReleasedBytes *counters.Counter
 	ReadmittedRuns      *counters.Counter
+	PoolContendedBytes  *counters.Counter
+	EvictedResidentRuns *counters.Counter
 	LocalShufflePairs   *counters.Counter
 	RemoteShufflePairs  *counters.Counter
 	ParallelMergeStages *counters.Counter
@@ -129,6 +131,8 @@ func resolveCells(cs *counters.Counters) CounterCells {
 		SpilledBytes:        cs.Find(counters.M3RGroup, counters.SpilledBytes),
 		BudgetReleasedBytes: cs.Find(counters.M3RGroup, counters.BudgetReleasedBytes),
 		ReadmittedRuns:      cs.Find(counters.M3RGroup, counters.ReadmittedRuns),
+		PoolContendedBytes:  cs.Find(counters.M3RGroup, counters.PoolContendedBytes),
+		EvictedResidentRuns: cs.Find(counters.M3RGroup, counters.EvictedResidentRuns),
 		LocalShufflePairs:   cs.Find(counters.M3RGroup, counters.LocalShufflePairs),
 		RemoteShufflePairs:  cs.Find(counters.M3RGroup, counters.RemoteShufflePairs),
 		ParallelMergeStages: cs.Find(counters.M3RGroup, counters.ParallelMergeStages),

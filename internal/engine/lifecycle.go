@@ -22,7 +22,7 @@ func CloseAllOnErr[C interface{ Close() error }](open []C) {
 // fired the first time the run is known to be done with its backing memory:
 // at exhaustion (the merge consumed every pair) or at Close (the merge was
 // torn down early), whichever comes first. The M3R engine uses it to hand a
-// resident run's bytes back to its place's budget Accountant as MergeIter /
+// resident run's bytes back to its place's BudgetPool as MergeIter /
 // StageSources drain the run — the incremental release that lets a long
 // reduce phase readmit later runs to memory instead of spilling them.
 type releasingRunReader struct {

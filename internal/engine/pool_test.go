@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolRandomOpSequences drives one pool through random multi-job
+// reserve/release sequences against a model, checking the ledger invariants
+// the shuffle lifecycle rests on: held never goes negative, never exceeds
+// the limit, per-job tallies sum to the pool total, and per-job caps are
+// honored exactly.
+func TestPoolRandomOpSequences(t *testing.T) {
+	type res struct {
+		job  int
+		size int64
+	}
+	check := func(limit uint16, caps [3]uint16, ops []uint16) bool {
+		p := NewBudgetPool(int64(limit))
+		views := make([]*JobBudget, 3)
+		for i := range views {
+			views[i] = p.Job(fmt.Sprintf("job%d", i), int64(caps[i]))
+		}
+		var outstanding []res
+		jobHeld := make([]int64, 3)
+		var held int64
+		for i, op := range ops {
+			job := int(op) % 3
+			if i%3 != 0 && len(outstanding) > 0 {
+				j := int(op) % len(outstanding)
+				r := outstanding[j]
+				outstanding = append(outstanding[:j], outstanding[j+1:]...)
+				views[r.job].Release(r.size)
+				held -= r.size
+				jobHeld[r.job] -= r.size
+			} else {
+				n := int64(op%512) + 1
+				ok := views[job].Reserve(n)
+				wantOK := held+n <= int64(limit) &&
+					(caps[job] == 0 || jobHeld[job]+n <= int64(caps[job]))
+				if ok != wantOK {
+					t.Logf("Reserve(%d) job %d: held=%d jobHeld=%d cap=%d limit=%d: got %v want %v",
+						n, job, held, jobHeld[job], caps[job], limit, ok, wantOK)
+					return false
+				}
+				if ok {
+					outstanding = append(outstanding, res{job: job, size: n})
+					held += n
+					jobHeld[job] += n
+				}
+			}
+			if got := p.Held(); got != held || got < 0 || got > p.Limit() {
+				t.Logf("held=%d model=%d limit=%d", got, held, p.Limit())
+				return false
+			}
+			var sum int64
+			for j, v := range views {
+				if got := v.Held(); got != jobHeld[j] {
+					t.Logf("job %d held=%d model=%d", j, got, jobHeld[j])
+					return false
+				}
+				sum += v.Held()
+			}
+			if sum != p.Held() {
+				t.Logf("job tallies sum to %d, pool holds %d", sum, p.Held())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolReleasedBudgetReReservable pins the property the incremental
+// release path depends on: bytes handed back — by any job — are immediately
+// admissible again, including by a different job of the sequence.
+func TestPoolReleasedBudgetReReservable(t *testing.T) {
+	p := NewBudgetPool(100)
+	a, b := p.Job("a", 0), p.Job("b", 0)
+	if !a.Reserve(100) {
+		t.Fatal("full-limit reserve refused")
+	}
+	if b.Reserve(1) {
+		t.Fatal("over-limit reserve admitted")
+	}
+	a.Release(60)
+	if !b.Reserve(60) {
+		t.Fatal("budget released by job a not reservable by job b")
+	}
+	if p.Held() != 100 || a.Held() != 40 || b.Held() != 60 {
+		t.Fatalf("held=%d a=%d b=%d", p.Held(), a.Held(), b.Held())
+	}
+	a.Release(40)
+	b.Release(60)
+	if p.Held() != 0 {
+		t.Fatalf("held=%d want 0 after full release", p.Held())
+	}
+}
+
+// TestPoolJobCapBindsInsideRoomyPool: a per-job cap must bind even when the
+// pool itself has room — the pooled engine's per-job budget key semantics.
+func TestPoolJobCapBindsInsideRoomyPool(t *testing.T) {
+	p := NewBudgetPool(1 << 20)
+	j := p.Job("capped", 100)
+	if !j.Reserve(100) {
+		t.Fatal("cap-sized reserve refused")
+	}
+	if j.Reserve(1) {
+		t.Fatal("reserve past the job cap admitted despite pool room")
+	}
+	other := p.Job("other", 0)
+	if !other.Reserve(1000) {
+		t.Fatal("uncapped job blocked by another job's cap")
+	}
+}
+
+// TestPoolRejectsNonPositiveReserve: zero/negative reservations must not
+// slip through as no-ops or disguised releases.
+func TestPoolRejectsNonPositiveReserve(t *testing.T) {
+	j := NewBudgetPool(10).Job("j", 0)
+	if j.Reserve(0) || j.Reserve(-5) {
+		t.Fatal("non-positive reserve admitted")
+	}
+	if j.Held() != 0 {
+		t.Fatalf("held=%d want 0", j.Held())
+	}
+}
+
+// TestPoolOverReleasePanics: releasing bytes a job never reserved — even
+// when the pool as a whole holds enough, because another job reserved them —
+// is a lifecycle bug and must fail loudly, not eat the other job's budget.
+func TestPoolOverReleasePanics(t *testing.T) {
+	p := NewBudgetPool(100)
+	a, b := p.Job("a", 0), p.Job("b", 0)
+	a.Reserve(50)
+	b.Reserve(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-job over-release did not panic")
+		}
+	}()
+	b.Release(6) // pool holds 55, but job b holds only 5
+}
+
+// TestPoolDrainReturnsEveryByte: Drain must return exactly what the job
+// still holds, leave the other jobs' reservations untouched, and be
+// idempotent — the provably-returns-every-byte guarantee a failed job's
+// cleanup relies on.
+func TestPoolDrainReturnsEveryByte(t *testing.T) {
+	p := NewBudgetPool(1000)
+	a, b := p.Job("a", 0), p.Job("b", 0)
+	a.Reserve(300)
+	a.Reserve(200)
+	b.Reserve(100)
+	a.Release(50)
+	if got := a.Drain(); got != 450 {
+		t.Fatalf("Drain returned %d, job held 450", got)
+	}
+	if got := a.Drain(); got != 0 {
+		t.Fatalf("second Drain returned %d, want 0", got)
+	}
+	if p.Held() != 100 || b.Held() != 100 {
+		t.Fatalf("pool=%d b=%d after draining a; b's reservation disturbed", p.Held(), b.Held())
+	}
+	if b.Drain() != 100 || p.Held() != 0 || p.Jobs() != 0 {
+		t.Fatalf("pool did not drain to zero: held=%d jobs=%d", p.Held(), p.Jobs())
+	}
+	if !a.Reserve(p.Limit()) {
+		t.Fatal("full limit not reservable after drain")
+	}
+}
+
+// TestPoolConcurrentConservation hammers one pool from many goroutines
+// acting as distinct jobs; under -race this doubles as the data-race check.
+// Total bytes are conserved: once every job drained, held is exactly zero
+// and the full limit is reservable again.
+func TestPoolConcurrentConservation(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	p := NewBudgetPool(int64(workers) * 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j := p.Job(fmt.Sprintf("job%d", w), int64(w%3)*96) // some capped, some not
+			n := int64(w%7) + 1
+			var holding int64
+			for i := 0; i < rounds; i++ {
+				if j.Reserve(n) {
+					holding += n
+				}
+				if holding >= n && i%2 == 1 {
+					j.Release(n)
+					holding -= n
+				}
+			}
+			if got := j.Drain(); got != holding {
+				t.Errorf("job %d drained %d, model held %d", w, got, holding)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Held(); got != 0 {
+		t.Fatalf("held=%d after every job drained", got)
+	}
+	if p.Jobs() != 0 {
+		t.Fatalf("%d job tallies left behind", p.Jobs())
+	}
+	if !p.Job("fresh", 0).Reserve(p.Limit()) {
+		t.Fatal("full limit not reservable after conservation round-trip")
+	}
+}
+
+// TestReserveEvictingLargestFirst models the admission path: a resident set
+// of runs, an incoming run that does not fit, and an evictor that re-spills
+// the largest resident run bigger than the incoming one per call. The pool
+// must admit once enough larger victims have been evicted, never evict when
+// the first-try reservation fits, and report contention exactly when the
+// first try failed.
+func TestReserveEvictingLargestFirst(t *testing.T) {
+	p := NewBudgetPool(100)
+	j := p.Job("j", 0)
+
+	resident := []int64{40, 35, 20} // reserved below; largest-first victims
+	for _, n := range resident {
+		if !j.Reserve(n) {
+			t.Fatalf("setup reserve %d failed", n)
+		}
+	}
+	// The evictor claims a victim and reports its size WITHOUT releasing:
+	// the pool folds the release into the retry atomically.
+	var evicted []int64
+	evict := func(min int64) (int64, error) {
+		best := -1
+		for i, n := range resident {
+			if n > min && (best < 0 || n > resident[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return 0, nil
+		}
+		n := resident[best]
+		resident = append(resident[:best], resident[best+1:]...)
+		evicted = append(evicted, n)
+		return n, nil
+	}
+
+	// Fits outright: no eviction, no contention.
+	ok, contended, err := j.ReserveEvicting(5, evict)
+	if err != nil || !ok || contended || len(evicted) != 0 {
+		t.Fatalf("uncontended admit: ok=%v contended=%v evicted=%v err=%v", ok, contended, evicted, err)
+	}
+	j.Release(5)
+
+	// 30 does not fit (95 held): evicting 40 admits it, keeping 35 and 20
+	// — two smaller runs stay resident where first-come would have spilled
+	// the newcomer.
+	ok, contended, err = j.ReserveEvicting(30, evict)
+	if err != nil || !ok || !contended {
+		t.Fatalf("contended admit: ok=%v contended=%v err=%v", ok, contended, err)
+	}
+	if len(evicted) != 1 || evicted[0] != 40 {
+		t.Fatalf("evicted %v, want largest-first [40]", evicted)
+	}
+
+	// 90 can never fit even after evicting everything larger than it (there
+	// is nothing larger): not admitted, contended, nothing evicted.
+	evicted = nil
+	ok, contended, err = j.ReserveEvicting(90, evict)
+	if err != nil || ok || !contended || len(evicted) != 0 {
+		t.Fatalf("hopeless reserve: ok=%v contended=%v evicted=%v err=%v", ok, contended, evicted, err)
+	}
+
+	// An evictor error surfaces.
+	boom := fmt.Errorf("spill device on fire")
+	_, _, err = j.ReserveEvicting(90, func(int64) (int64, error) { return 0, boom })
+	if err != boom {
+		t.Fatalf("evictor error lost: %v", err)
+	}
+}
+
+// TestReleaseAndReserveAtomicExchange pins the exchange the eviction path
+// rides: the release half is unconditional (the victim is already going to
+// disk) while the reserve half may fail — and both happen under one lock,
+// so on a shared pool no other job's Reserve can land between them and
+// steal the freed bytes out from under the eviction that paid for them.
+func TestReleaseAndReserveAtomicExchange(t *testing.T) {
+	p := NewBudgetPool(100)
+	a, b := p.Job("a", 0), p.Job("b", 0)
+	a.Reserve(60)
+	b.Reserve(40) // pool full
+
+	// Exchange a 60-byte victim for a 50-byte newcomer: fits.
+	if !a.releaseAndReserve(60, 50) {
+		t.Fatal("exchange within freed room refused")
+	}
+	if a.Held() != 50 || p.Held() != 90 {
+		t.Fatalf("a=%d pool=%d after exchange", a.Held(), p.Held())
+	}
+
+	// Exchange that still does not fit: the release half sticks anyway.
+	if a.releaseAndReserve(50, 80) {
+		t.Fatal("over-limit exchange admitted")
+	}
+	if a.Held() != 0 || p.Held() != 40 {
+		t.Fatalf("a=%d pool=%d: failed exchange must still release the victim", a.Held(), p.Held())
+	}
+
+	// Releasing more than the job holds panics, like Release.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release through the exchange did not panic")
+		}
+	}()
+	b.releaseAndReserve(41, 0)
+}

@@ -30,6 +30,14 @@ type cluster struct {
 // all modelled delays disabled (tests assert on mechanism via stats).
 func newCluster(t *testing.T, nodes int) *cluster {
 	t.Helper()
+	return newClusterPool(t, nodes, 0)
+}
+
+// newClusterPool is newCluster with an explicit engine-scoped shuffle pool
+// on the M3R engine (m3r.Options.ShuffleBudgetBytes; 0 inherits the
+// environment default, negative forces no pool).
+func newClusterPool(t *testing.T, nodes int, poolBytes int64) *cluster {
+	t.Helper()
 	stats := sim.NewStats()
 	cost := sim.Zero()
 	// Host names must match the x10 runtime's ("node0"...).
@@ -59,11 +67,12 @@ func newCluster(t *testing.T, nodes int) *cluster {
 		t.Fatalf("hadoop engine: %v", err)
 	}
 	me, err := m3r.New(m3r.Options{
-		Backing:         fs,
-		Places:          nodes,
-		WorkersPerPlace: 2,
-		Stats:           stats,
-		Cost:            cost,
+		Backing:            fs,
+		Places:             nodes,
+		WorkersPerPlace:    2,
+		ShuffleBudgetBytes: poolBytes,
+		Stats:              stats,
+		Cost:               cost,
 	})
 	if err != nil {
 		t.Fatalf("m3r engine: %v", err)

@@ -25,6 +25,11 @@ type Options struct {
 	BlockSize int64
 	// Replication is the HDFS replication factor (default 2 when >1 node).
 	Replication int
+	// ShuffleBudgetBytes gives the M3R engine an engine-lifetime per-place
+	// shuffle memory pool (conf.KeyM3REngineShuffleBudget) shared by every
+	// job of its sequence; 0 inherits the M3R_ENGINE_SHUFFLE_BUDGET_BYTES
+	// environment default, negative forces no pool.
+	ShuffleBudgetBytes int64
 	// Cost is the modelled cost model; nil means sim.Default() (with
 	// sleeps, for wall-clock experiments). Use sim.Zero() in tests.
 	Cost *sim.CostModel
@@ -106,12 +111,13 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	me, err := m3r.New(m3r.Options{
-		Backing:         fs,
-		Places:          nodes,
-		WorkersPerPlace: opts.WorkersPerPlace,
-		Fallback:        he,
-		Stats:           stats,
-		Cost:            cost,
+		Backing:            fs,
+		Places:             nodes,
+		WorkersPerPlace:    opts.WorkersPerPlace,
+		Fallback:           he,
+		ShuffleBudgetBytes: opts.ShuffleBudgetBytes,
+		Stats:              stats,
+		Cost:               cost,
 	})
 	if err != nil {
 		he.Close()

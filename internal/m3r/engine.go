@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,15 @@ type Options struct {
 	// Fallback, when set, receives jobs that request the stock Hadoop
 	// engine via conf.KeyForceHadoop (§5.3 integrated mode).
 	Fallback engine.Engine
+	// ShuffleBudgetBytes, when positive, gives the engine a per-place
+	// shuffle memory pool (conf.KeyM3REngineShuffleBudget) shared by every
+	// job of the engine's sequence: concurrent server-mode jobs reserve
+	// from — and contend for — this one pool instead of each claiming a
+	// full per-place budget, with the largest-first spill policy arbitrating
+	// overflow. Zero falls back to the M3R_ENGINE_SHUFFLE_BUDGET_BYTES
+	// environment default; negative forces no pool even when the
+	// environment sets one.
+	ShuffleBudgetBytes int64
 	// Stats and Cost may be nil.
 	Stats *sim.Stats
 	Cost  *sim.CostModel
@@ -51,6 +61,14 @@ type Engine struct {
 	stats    *sim.Stats
 	cost     *sim.CostModel
 	fallback engine.Engine
+
+	// pools is the engine-scoped shuffle memory: one engine-lifetime
+	// BudgetPool per place (Options.ShuffleBudgetBytes /
+	// conf.KeyM3REngineShuffleBudget), shared by every job of the sequence
+	// through job-tagged reservations. Nil when the engine is unpooled —
+	// jobs then account against private per-job pools, the pre-pool
+	// behavior.
+	pools []*engine.BudgetPool
 
 	mu     sync.Mutex
 	jobSeq int
@@ -74,6 +92,13 @@ func New(opts Options) (*Engine, error) {
 	})
 	cache := NewCache(rt)
 	cfs := NewCachingFileSystem(opts.Backing, cache, rt)
+	var pools []*engine.BudgetPool
+	if b := poolBudgetBytes(opts.ShuffleBudgetBytes); b > 0 {
+		pools = make([]*engine.BudgetPool, rt.NumPlaces())
+		for p := range pools {
+			pools[p] = engine.NewBudgetPool(b)
+		}
+	}
 	return &Engine{
 		rt:       rt,
 		cache:    cache,
@@ -82,7 +107,25 @@ func New(opts Options) (*Engine, error) {
 		stats:    opts.Stats,
 		cost:     cost,
 		fallback: opts.Fallback,
+		pools:    pools,
 	}, nil
+}
+
+// poolBudgetBytes resolves the engine pool size: an explicit option wins
+// (negative = no pool, even under the env default), otherwise the
+// M3R_ENGINE_SHUFFLE_BUDGET_BYTES environment default applies — how CI's
+// tight-budget leg gives every test engine a contended pool without every
+// test knowing about pooling.
+func poolBudgetBytes(opt int64) int64 {
+	if opt != 0 {
+		return opt
+	}
+	if v := os.Getenv("M3R_ENGINE_SHUFFLE_BUDGET_BYTES"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
 }
 
 // Name implements engine.Engine.
@@ -103,6 +146,27 @@ func (e *Engine) Runtime() *x10.Runtime { return e.rt }
 
 // Stats returns the engine's statistics sink.
 func (e *Engine) Stats() *sim.Stats { return e.stats }
+
+// ShufflePoolLimitBytes returns the engine pool's per-place limit, 0 when
+// the engine is unpooled.
+func (e *Engine) ShufflePoolLimitBytes() int64 {
+	if e.pools == nil {
+		return 0
+	}
+	return e.pools[0].Limit()
+}
+
+// ShufflePoolHeldBytes sums the bytes currently reserved across the engine
+// pool's places (0 when unpooled). Between jobs of a healthy sequence it is
+// exactly zero: every job's cleanup drains its reservations, which the
+// server-mode equivalence tests pin.
+func (e *Engine) ShufflePoolHeldBytes() int64 {
+	var held int64
+	for _, p := range e.pools {
+		held += p.Held()
+	}
+	return held
+}
 
 // Close implements engine.Engine.
 func (e *Engine) Close() error {
@@ -175,10 +239,25 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		mergeCfg:      engine.MergeConfigFromJob(job),
 	}
 	defer x.cleanup()
-	if x.shuffleBudget > 0 {
-		x.budgets = make([]*engine.Accountant, e.rt.NumPlaces())
+	// Budget admission: on a pooled engine every job is budgeted (the
+	// per-job key, when set, caps the job within the pool; an explicit
+	// non-positive value opts the job out entirely). On an unpooled engine
+	// a positive per-job key gets a private single-job pool: the same
+	// byte-identical output as the pre-pool per-job accountants, but with
+	// the largest-first policy active — a tight single job evicts its own
+	// larger resident runs (and counts POOL_CONTENDED_BYTES) rather than
+	// always spilling the newcomer.
+	capSet := job.Has(conf.KeyM3RShuffleBudget)
+	if (capSet && x.shuffleBudget > 0) || (!capSet && e.pools != nil) {
+		x.budgets = make([]*engine.JobBudget, e.rt.NumPlaces())
+		x.resident = make([]*residentSet, e.rt.NumPlaces())
 		for p := range x.budgets {
-			x.budgets[p] = engine.NewAccountant(x.shuffleBudget)
+			if e.pools != nil {
+				x.budgets[p] = e.pools[p].Job(jobID, x.shuffleBudget)
+			} else {
+				x.budgets[p] = engine.NewBudgetPool(x.shuffleBudget).Job(jobID, 0)
+			}
+			x.resident[p] = newResidentSet()
 		}
 		if depth := job.GetInt(conf.KeyM3RSpillQueue, 0); depth > 0 {
 			x.spillQ = make([]*spillQueue, e.rt.NumPlaces())
@@ -248,19 +327,26 @@ type jobExec struct {
 	cmu          sync.Mutex
 
 	// Shuffle memory lifecycle (conf.KeyM3RShuffleBudget / KeyM3RSpillQueue
-	// / KeyM3RReadmit): when the budget is positive, each place accounts
-	// its resident shuffle runs against budgets[place] and runs beyond the
-	// budget spill to disk in the shared spill record format
-	// (internal/spill), re-entering the merge through stream-backed leaves.
-	// With a queue depth configured the spill writes run on per-place
-	// worker goroutines (spillQ), overlapping disk with mapping; the
-	// reservations release incrementally as reduce tasks drain resident
-	// runs, and — with readmit — freed budget promotes spilled runs back to
-	// memory at merge open. Zero or negative budget means unlimited: the
-	// paper's pure in-memory design point, with no accounting overhead.
+	// / KeyM3RReadmit, over the engine pool of
+	// conf.KeyM3REngineShuffleBudget when one is configured): when the job
+	// is budgeted, each place accounts its resident shuffle runs against
+	// budgets[place] — the job's tagged view of the place's pool — and runs
+	// that cannot be admitted spill to disk in the shared spill record
+	// format (internal/spill), re-entering the merge through stream-backed
+	// leaves. Under contention the largest-first policy may instead
+	// re-spill a larger cold resident run (tracked per place in resident)
+	// to keep the smaller newcomer in memory. With a queue depth configured
+	// the spill writes run on per-place worker goroutines (spillQ),
+	// overlapping disk with mapping; the reservations release incrementally
+	// as reduce tasks drain resident runs, and — with readmit — freed
+	// budget promotes spilled runs back to memory at merge open. Unbudgeted
+	// jobs (no pool and no positive per-job budget, or an explicit
+	// non-positive per-job budget) skip all accounting: the paper's pure
+	// in-memory design point.
 	shuffleBudget int64
 	readmit       bool
-	budgets       []*engine.Accountant
+	budgets       []*engine.JobBudget
+	resident      []*residentSet
 	spillQ        []*spillQueue
 	spillMu       sync.Mutex
 	spillDir      string
@@ -308,12 +394,21 @@ func (x *jobExec) spillPath() (string, error) {
 
 // cleanup tears the spill pipeline down at job end (success or failure):
 // every spill worker is drained first — no goroutine outlives the job, and
-// no queued write can race the directory removal — then the spill directory
-// goes. On the success path the workers were already drained at the shuffle
-// barrier, so the drains here are idempotent no-ops.
+// no queued write can race the directory removal — then the job's budget
+// reservations return to the pool, then the spill directory goes. The
+// budget drain is the pool's end-of-job guarantee: a job that failed
+// mid-shuffle (installed runs whose reducers never ran) must still hand
+// every byte back, or a long-lived engine's shared pool would bleed
+// capacity on every failure. On the success path the releasing readers
+// already returned everything and both drains are no-ops. All task
+// goroutines are joined before Submit's deferred cleanup runs, so no
+// release can race the drain.
 func (x *jobExec) cleanup() {
 	for _, q := range x.spillQ {
 		q.drain() // a worker error already surfaced through the job
+	}
+	for _, jb := range x.budgets {
+		jb.Drain()
 	}
 	x.cleanupSpill()
 }
@@ -466,6 +561,13 @@ func (x *jobExec) run(assignments []*mapAssignment) error {
 					return err
 				}
 				x.noteSpillQueueDepth(x.spillQ[p].highWater.Load())
+			}
+			// Past the barrier no map task can contend the budget, so the
+			// largest-first policy has no more victims to pick: drop the
+			// eviction index so it stops pinning detached runs' pairs for
+			// the rest of the reduce phase.
+			if x.resident != nil {
+				x.resident[p].clear()
 			}
 			// Reduce phase: this place owns the partitions the stable
 			// mapping assigns to it (§3.2.2.2).
@@ -658,14 +760,18 @@ type partitionInput struct {
 	x     *jobExec
 	place int
 	mu    sync.Mutex
-	runs  []sourceRun
+	runs  []*sourceRun
 }
 
 // sourceRun is one map task's sorted contribution to a partition: resident
 // pairs, or a spilled run on disk (exactly one of the two is set). size is
 // the budget accounting size a resident run holds reserved (0 when the job
 // is unbudgeted or the run could not be encoded), released back to the
-// place's accountant when the reduce merge drains the run.
+// place's budget pool when the reduce merge drains the run. Runs are
+// heap-allocated and shared with the place's residentSet so the
+// largest-first policy can flip a cold resident run to spilled in place
+// (under pi.mu) without disturbing its slot — and with it the src-order
+// merge tie-break.
 type sourceRun struct {
 	src   int
 	pairs []wio.Pair
@@ -689,14 +795,17 @@ type spilledRun struct {
 // at most one run per partition (its pairs are either all local or all
 // remote with respect to the partition's place). With a budget configured,
 // the run is serialized to learn its size — the cost Hadoop always pays at
-// collect time — and spills to disk when the place's accountant is full.
+// collect time — and the place's pool decides admission: under contention
+// the largest-first policy may re-spill a larger cold resident run of this
+// job to keep the newcomer in memory; a run the pool cannot admit spills to
+// disk itself.
 func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
 	x := pi.x
-	if x.shuffleBudget <= 0 {
-		pi.install(sourceRun{src: src, pairs: pairs})
+	if x.budgets == nil {
+		pi.install(&sourceRun{src: src, pairs: pairs})
 		return nil
 	}
 	recs, keyClass, valClass, size, err := encodeRun(pairs)
@@ -704,17 +813,41 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 		// Keys or values this job shuffles cannot round-trip through the
 		// record format (unregistered or unserializable types); such a run
 		// can only live on the heap, as in unbudgeted mode.
-		pi.install(sourceRun{src: src, pairs: pairs})
+		pi.install(&sourceRun{src: src, pairs: pairs})
 		return nil
 	}
-	if x.budgets[pi.place].Reserve(size) {
-		pi.install(sourceRun{src: src, pairs: pairs, size: size})
+	admitted, contended, err := x.budgets[pi.place].ReserveEvicting(size, func(min int64) (int64, error) {
+		return x.evictLargest(ctx, pi.place, min)
+	})
+	if err != nil {
+		return err
+	}
+	if contended {
+		ctx.Cells.PoolContendedBytes.Increment(size)
+	}
+	if admitted {
+		r := &sourceRun{src: src, pairs: pairs, size: size}
+		pi.install(r)
+		x.resident[pi.place].add(r, pi)
 		return nil
 	}
 	// Overflow: the run goes to disk. Counters, stats and cost are charged
 	// here, before the write — identically whether the write happens inline
 	// or later on the spill worker — so per-job accounting does not depend
 	// on the queue setting.
+	x.chargeSpill(ctx, recs)
+	req := spillReq{pi: pi, src: src, recs: recs, keyClass: keyClass, valClass: valClass, size: size}
+	if x.spillQ != nil {
+		return x.spillQ[pi.place].enqueue(req)
+	}
+	return writeSpill(x, req)
+}
+
+// chargeSpill charges one run's spill to the task's counters and the
+// engine's stats/cost model — at admission time, not write time, so the
+// accounting is identical whether the write happens inline, on a spill
+// worker, or as a largest-first eviction.
+func (x *jobExec) chargeSpill(ctx *engine.TaskContext, recs []spill.Rec) {
 	n := spill.EncodedLen(recs)
 	ctx.Cells.SpilledRuns.Increment(1)
 	ctx.Cells.SpilledBytes.Increment(n)
@@ -723,14 +856,9 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 	e.stats.Add(sim.SpillBytes, n)
 	e.stats.Add(sim.SpillFiles, 1)
 	e.cost.ChargeDisk(e.stats, n)
-	req := spillReq{pi: pi, src: src, recs: recs, keyClass: keyClass, valClass: valClass, size: size}
-	if x.spillQ != nil {
-		return x.spillQ[pi.place].enqueue(req)
-	}
-	return writeSpill(x, req)
 }
 
-func (pi *partitionInput) install(r sourceRun) {
+func (pi *partitionInput) install(r *sourceRun) {
 	pi.mu.Lock()
 	pi.runs = append(pi.runs, r)
 	pi.mu.Unlock()
@@ -781,8 +909,8 @@ func (pi *partitionInput) takeReaders(ctx *engine.TaskContext) ([]engine.RunRead
 	x := pi.x
 	pi.mu.Lock()
 	defer pi.mu.Unlock()
-	slices.SortStableFunc(pi.runs, func(a, b sourceRun) int { return a.src - b.src })
-	var acct *engine.Accountant
+	slices.SortStableFunc(pi.runs, func(a, b *sourceRun) int { return a.src - b.src })
+	var acct *engine.JobBudget
 	if x.budgets != nil {
 		acct = x.budgets[pi.place]
 	}
@@ -821,7 +949,7 @@ func (pi *partitionInput) takeReaders(ctx *engine.TaskContext) ([]engine.RunRead
 // releasingReader wraps a resident run's reader to hand size bytes back to
 // acct exactly once — when the merge exhausts or closes the run — counting
 // them in BUDGET_RELEASED_BYTES.
-func releasingReader(rd engine.RunReader, acct *engine.Accountant, size int64, ctx *engine.TaskContext) engine.RunReader {
+func releasingReader(rd engine.RunReader, acct *engine.JobBudget, size int64, ctx *engine.TaskContext) engine.RunReader {
 	cell := ctx.Cells.BudgetReleasedBytes
 	return engine.NewReleasingRunReader(rd, func() {
 		acct.Release(size)

@@ -1,0 +1,175 @@
+package m3r
+
+import (
+	"errors"
+	"testing"
+
+	"m3r/internal/conf"
+	"m3r/internal/engine"
+	"m3r/internal/spill"
+	"m3r/internal/wio"
+)
+
+// TestLargestFirstEvictionKeepsSmallRuns is the policy's deterministic pin:
+// with a budget that exactly fits one big run, a big run arrives first and
+// goes resident; a later, smaller run contends — and instead of spilling the
+// newcomer (first-come, the old policy), the pool evicts the big resident
+// run to disk and keeps the small one in memory, then admits a second small
+// run into the remaining freed budget with no further eviction. The merged
+// output stays byte-identical to the unbudgeted path and the job's budget
+// drains to zero.
+func TestLargestFirstEvictionKeepsSmallRuns(t *testing.T) {
+	big, smallB, smallC := textRun("aaaaaa", 60), textRun("b", 10), textRun("c", 10)
+	_, _, _, bigSize, err := encodeRun(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, smallSize, err := encodeRun(smallB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*smallSize > bigSize {
+		t.Fatalf("test geometry broken: 2*small=%d > big=%d", 2*smallSize, bigSize)
+	}
+
+	// Unbudgeted reference for the byte-identity check.
+	ref := newSpillExec(0, 0, false)
+	refPi := &partitionInput{x: ref, place: 0}
+	ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
+	for src, pairs := range [][]wio.Pair{textRun("aaaaaa", 60), textRun("b", 10), textRun("c", 10)} {
+		if err := refPi.addRun(ctx, src, pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refReaders, err := refPi.takeReaders(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainMerge(t, ref, refReaders)
+
+	x := newSpillExec(bigSize, 0, false) // budget = exactly the big run
+	defer x.cleanup()
+	pi := &partitionInput{x: x, place: 0}
+	ctx = engine.NewTaskContext(conf.NewJob(), "task", nil)
+
+	if err := pi.addRun(ctx, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.budgets[0].Held(); got != bigSize {
+		t.Fatalf("held=%d want %d after the big run", got, bigSize)
+	}
+	if got := x.resident[0].size(); got != 1 {
+		t.Fatalf("resident index holds %d runs, want 1", got)
+	}
+
+	// The small run contends; the big run is the victim, not the newcomer.
+	if err := pi.addRun(ctx, 1, smallB); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Cells.EvictedResidentRuns.Value(); got != 1 {
+		t.Fatalf("EVICTED_RESIDENT_RUNS=%d want 1", got)
+	}
+	if got := ctx.Cells.SpilledRuns.Value(); got != 1 {
+		t.Fatalf("SpilledRuns=%d want 1 (the evicted big run)", got)
+	}
+	if got := ctx.Cells.PoolContendedBytes.Value(); got != smallSize {
+		t.Fatalf("POOL_CONTENDED_BYTES=%d want %d", got, smallSize)
+	}
+	if got := x.budgets[0].Held(); got != smallSize {
+		t.Fatalf("held=%d want %d: small resident, big on disk", got, smallSize)
+	}
+
+	// A second small run fits the freed budget outright: no new eviction.
+	if err := pi.addRun(ctx, 2, smallC); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Cells.EvictedResidentRuns.Value(); got != 1 {
+		t.Fatalf("EVICTED_RESIDENT_RUNS=%d after an uncontended admit, want 1", got)
+	}
+	if got := x.budgets[0].Held(); got != 2*smallSize {
+		t.Fatalf("held=%d want %d: both small runs resident", got, 2*smallSize)
+	}
+
+	// The big run's slot flipped in place: still src 0, now spilled, so the
+	// merge's source-order tie-break — and the output bytes — are untouched.
+	streamBase := spill.OpenStreamCount()
+	readers, err := pi.takeReaders(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spill.OpenStreamCount(); got != streamBase+1 {
+		t.Fatalf("OpenStreamCount=%d want %d: exactly the evicted run streams from disk", got, streamBase+1)
+	}
+	got := drainMerge(t, x, readers)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d differs after eviction", i)
+		}
+	}
+	if held := x.budgets[0].Held(); held != 0 {
+		t.Fatalf("held=%d want 0 after the merge drained", held)
+	}
+}
+
+// TestEvictionNeverTradesForEqualOrLarger: a newcomer the same size as (or
+// larger than) every resident run must spill itself — evicting an
+// equal-sized run would churn disk for zero resident gain, and evicting a
+// smaller one would be the opposite of the policy.
+func TestEvictionNeverTradesForEqualOrLarger(t *testing.T) {
+	runA, runB := textRun("a", 20), textRun("b", 20) // identical sizes
+	_, _, _, size, err := encodeRun(runA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := newSpillExec(size, 0, false)
+	defer x.cleanup()
+	pi := &partitionInput{x: x, place: 0}
+	ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
+	if err := pi.addRun(ctx, 0, runA); err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.addRun(ctx, 1, runB); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Cells.EvictedResidentRuns.Value(); got != 0 {
+		t.Fatalf("EVICTED_RESIDENT_RUNS=%d: evicted an equal-sized run", got)
+	}
+	if got := ctx.Cells.SpilledRuns.Value(); got != 1 {
+		t.Fatalf("SpilledRuns=%d want 1 (the newcomer)", got)
+	}
+	if got := x.budgets[0].Held(); got != size {
+		t.Fatalf("held=%d want %d: first run still resident", got, size)
+	}
+}
+
+// TestEvictionWriteErrorFailsAdmission: a disk failure during the eviction
+// re-spill must surface through addRun — and with it fail the map task —
+// with the victim's reservation state consistent (the victim was claimed but
+// its bytes never released, so the job's cleanup drain reclaims them).
+func TestEvictionWriteErrorFailsAdmission(t *testing.T) {
+	injected := errors.New("injected eviction write error")
+	swapSpillWrite(t, func(string, []spill.Rec) (int64, error) { return 0, injected })
+
+	big, small := textRun("aaaaaa", 60), textRun("b", 10)
+	_, _, _, bigSize, err := encodeRun(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := newSpillExec(bigSize, 0, false)
+	pi := &partitionInput{x: x, place: 0}
+	ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
+	if err := pi.addRun(ctx, 0, big); err != nil {
+		t.Fatal(err) // resident: no write involved
+	}
+	if err := pi.addRun(ctx, 1, small); !errors.Is(err, injected) {
+		t.Fatalf("eviction write error not surfaced: %v", err)
+	}
+	// The failed job's cleanup still returns every byte.
+	x.cleanup()
+	if held := x.budgets[0].Held(); held != 0 {
+		t.Fatalf("held=%d after cleanup of a failed job", held)
+	}
+}

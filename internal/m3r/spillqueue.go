@@ -53,7 +53,7 @@ func writeSpill(x *jobExec, req spillReq) error {
 	if _, err := spillWriteRun(path, req.recs); err != nil {
 		return err
 	}
-	req.pi.install(sourceRun{src: req.src, spill: &spilledRun{
+	req.pi.install(&sourceRun{src: req.src, spill: &spilledRun{
 		path: path, keyClass: req.keyClass, valClass: req.valClass, size: req.size,
 	}})
 	return nil

@@ -178,7 +178,8 @@ func newSpillExec(budget int64, queueDepth int, readmit bool) *jobExec {
 	x := &jobExec{e: e, jobID: "job_test_0001", jc: counters.New(),
 		shuffleBudget: budget, readmit: readmit}
 	if budget > 0 {
-		x.budgets = []*engine.Accountant{engine.NewAccountant(budget)}
+		x.budgets = []*engine.JobBudget{engine.NewBudgetPool(budget).Job(x.jobID, 0)}
+		x.resident = []*residentSet{newResidentSet()}
 		if queueDepth > 0 {
 			x.spillQ = []*spillQueue{newSpillQueue(x, 0, queueDepth)}
 		}

@@ -18,6 +18,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"m3r/internal/conf"
@@ -43,32 +44,54 @@ const (
 	StateFailed    = "failed"
 )
 
+// DefaultCompletedJobRetention bounds how many terminal (succeeded or
+// failed) job states a server keeps for poll/list. A long-lived server-mode
+// daemon runs an unbounded sequence of jobs; retaining every jobState — and
+// through it every job's full counter set — forever is a leak, so once the
+// bound is exceeded the oldest terminal states are evicted and poll answers
+// StateUnknown for them, exactly as it does for an id it never saw. Running
+// jobs are never evicted.
+const DefaultCompletedJobRetention = 256
+
 // Server wraps an engine behind the TCP protocol.
 type Server struct {
-	eng engine.Engine
-	ln  net.Listener
+	eng    engine.Engine
+	ln     net.Listener
+	retain int
 
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*jobState
+	done []string // terminal job ids, oldest first, for bounded eviction
 	wg   sync.WaitGroup
 }
 
 type jobState struct {
 	id     string
+	seq    int // submission order, for the list-jobs view
 	queue  string
 	state  string
 	report *engine.Report
 	errMsg string
 }
 
-// Serve starts a server for eng on addr (e.g. "127.0.0.1:0").
+// Serve starts a server for eng on addr (e.g. "127.0.0.1:0") with the
+// default completed-job retention.
 func Serve(eng engine.Engine, addr string) (*Server, error) {
+	return ServeWithRetention(eng, addr, DefaultCompletedJobRetention)
+}
+
+// ServeWithRetention starts a server keeping at most retainCompleted
+// terminal job states (non-positive falls back to the default).
+func ServeWithRetention(eng engine.Engine, addr string, retainCompleted int) (*Server, error) {
+	if retainCompleted <= 0 {
+		retainCompleted = DefaultCompletedJobRetention
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{eng: eng, ln: ln, jobs: make(map[string]*jobState)}
+	s := &Server{eng: eng, ln: ln, retain: retainCompleted, jobs: make(map[string]*jobState)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -160,17 +183,21 @@ func (s *Server) handle(conn net.Conn) {
 		w.WriteByte(0)
 		w.WriteString(s.eng.FileSystem())
 	case opListJobs:
-		// The job-queue administrative view (§5.3): every tracked job
-		// with its queue and state, in submission order.
-		type row struct{ id, queue, state string }
+		// The job-queue administrative view (§5.3): every tracked job with
+		// its queue and state, in submission order. Only retained states
+		// are walked — a daemon that has run a million jobs answers in
+		// O(retention + running), not O(all jobs ever submitted).
+		type row struct {
+			seq              int
+			id, queue, state string
+		}
 		s.mu.Lock()
 		jobs := make([]row, 0, len(s.jobs))
-		for i := 1; i <= s.seq; i++ {
-			if st := s.jobs[fmt.Sprintf("remote_job_%04d", i)]; st != nil {
-				jobs = append(jobs, row{st.id, st.queue, st.state})
-			}
+		for _, st := range s.jobs {
+			jobs = append(jobs, row{st.seq, st.id, st.queue, st.state})
 		}
 		s.mu.Unlock()
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].seq < jobs[j].seq })
 		w.WriteByte(0)
 		w.WriteUvarint(uint64(len(jobs)))
 		for _, st := range jobs {
@@ -189,6 +216,7 @@ func (s *Server) startAsync(job *conf.JobConf) string {
 	id := fmt.Sprintf("remote_job_%04d", s.seq)
 	st := &jobState{
 		id:    id,
+		seq:   s.seq,
 		queue: job.GetDefault(conf.KeyJobQueueName, "default"),
 		state: StateRunning,
 	}
@@ -203,12 +231,25 @@ func (s *Server) startAsync(job *conf.JobConf) string {
 		if err != nil {
 			st.state = StateFailed
 			st.errMsg = err.Error()
-			return
+		} else {
+			st.state = StateSucceeded
+			st.report = rep
 		}
-		st.state = StateSucceeded
-		st.report = rep
+		s.retire(st)
 	}()
 	return id
+}
+
+// retire records a job's transition to a terminal state and evicts the
+// oldest terminal states beyond the retention bound, so a long-lived server
+// holds a bounded number of finished jobs no matter how many it has run.
+// Callers hold s.mu.
+func (s *Server) retire(st *jobState) {
+	s.done = append(s.done, st.id)
+	for len(s.done) > s.retain {
+		delete(s.jobs, s.done[0])
+		s.done = s.done[1:]
+	}
 }
 
 func readJob(r *wio.Reader) (*conf.JobConf, error) {

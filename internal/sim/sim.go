@@ -112,6 +112,7 @@ const (
 	CacheWrites       = "cache.writes"        // output blocks written to the cache
 	SpillBytes        = "spill.bytes"         // bytes written to map-side spill files
 	SpillFiles        = "spill.files"         // number of spill files
+	EvictedRuns       = "evicted.runs"        // resident runs re-spilled largest-first
 	ShuffleFetchBytes = "shuffle.fetch.bytes" // reduce-side segment fetch bytes
 	HDFSReadBytes     = "hdfs.read.bytes"
 	HDFSWriteBytes    = "hdfs.write.bytes"

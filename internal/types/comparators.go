@@ -138,6 +138,8 @@ func RawComparatorFor(typeName string) wio.RawComparator {
 		return LongRawComparator{}
 	case DoubleName:
 		return DoubleRawComparator{}
+	case PairName:
+		return PairRawComparator{}
 	}
 	return nil
 }

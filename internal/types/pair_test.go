@@ -1,0 +1,189 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"m3r/internal/wio"
+)
+
+// pairCorpus builds an interesting set of composite keys: duplicate firsts
+// (the secondary-sort shape), negative and boundary numerics, and Double
+// seconds including the values whose byte order diverges from their numeric
+// order (negatives, ±0, NaN).
+func pairCorpus() []*Pair {
+	var out []*Pair
+	for _, s := range []string{"", "a", "aa", "ab", "b", "ba"} {
+		for _, i := range []int32{-10, -1, 0, 1, 2, 1 << 30, -(1 << 30)} {
+			out = append(out, NewPair(NewText(s), NewInt(i)))
+		}
+	}
+	for _, l := range []int64{-5, 0, 5, math.MaxInt64, math.MinInt64} {
+		for _, d := range []float64{math.Inf(-1), -2.5, math.Copysign(0, -1), 0, 2.5, math.Inf(1), math.NaN()} {
+			out = append(out, NewPair(NewLong(l), NewDouble(d)))
+		}
+	}
+	return out
+}
+
+// TestPairRoundTrip: serialize/deserialize restores both components,
+// including into a reused Pair holding components of a different type.
+func TestPairRoundTrip(t *testing.T) {
+	p := NewPair(NewText("key"), NewInt(42))
+	b, err := wio.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh from the registry.
+	fresh, err := wio.New(PairName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wio.Unmarshal(b, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.(*Pair)
+	if got.First.(*Text).String() != "key" || got.Second.(*IntWritable).Get() != 42 {
+		t.Fatalf("round trip: %v", got)
+	}
+	// Reuse with mismatched component types: ReadFields must swap them.
+	reused := NewPair(NewLong(7), NewDouble(1.5))
+	if err := wio.Unmarshal(b, reused); err != nil {
+		t.Fatal(err)
+	}
+	if reused.First.(*Text).String() != "key" || reused.Second.(*IntWritable).Get() != 42 {
+		t.Fatalf("reuse round trip: %v", reused)
+	}
+}
+
+// TestPairRawComparatorMatchesDeserializedOrder is the satellite's pin: for
+// every pair of corpus keys, CompareRaw over the serialized forms, Compare
+// over the objects, and CompareTo must produce the same sign — so the
+// Hadoop engine's raw spill sort, the M3R in-memory sort, and the natural
+// order sort composite keys identically.
+func TestPairRawComparatorMatchesDeserializedOrder(t *testing.T) {
+	cmp := PairRawComparator{}
+	corpus := pairCorpus()
+	raw := make([][]byte, len(corpus))
+	for i, p := range corpus {
+		b, err := wio.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		raw[i] = b
+	}
+	for i := range corpus {
+		for j := range corpus {
+			want := sign(cmp.Compare(corpus[i], corpus[j]))
+			if got := sign(cmp.CompareRaw(raw[i], raw[j])); got != want {
+				t.Errorf("%v vs %v: CompareRaw=%d Compare=%d", corpus[i], corpus[j], got, want)
+			}
+			if got := sign(corpus[i].CompareTo(corpus[j])); got != want {
+				t.Errorf("%v vs %v: CompareTo=%d Compare=%d", corpus[i], corpus[j], got, want)
+			}
+		}
+	}
+	// Antisymmetry over the whole corpus.
+	for i := range corpus {
+		for j := range corpus {
+			if sign(cmp.CompareRaw(raw[i], raw[j])) != -sign(cmp.CompareRaw(raw[j], raw[i])) {
+				t.Fatalf("raw compare not antisymmetric at %v vs %v", corpus[i], corpus[j])
+			}
+		}
+	}
+}
+
+// TestPairSortedOrderIsLexicographic: sorting a shuffled corpus by the raw
+// comparator yields first-then-second lexicographic order, the secondary
+// sort contract.
+func TestPairSortedOrderIsLexicographic(t *testing.T) {
+	ps := []*Pair{
+		NewPair(NewText("a"), NewInt(2)),
+		NewPair(NewText("b"), NewInt(-1)),
+		NewPair(NewText("a"), NewInt(-3)),
+		NewPair(NewText("b"), NewInt(0)),
+		NewPair(NewText("a"), NewInt(0)),
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+	cmp := PairRawComparator{}
+	slices.SortFunc(ps, func(a, b *Pair) int { return cmp.Compare(a, b) })
+	want := []string{"(a, -3)", "(a, 0)", "(a, 2)", "(b, -1)", "(b, 0)"}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Fatalf("sorted[%d]=%v want %s (full: %v)", i, p, want[i], ps)
+		}
+	}
+}
+
+// TestPairNestedAndFallbackComponents: Pairs nest (the raw comparator
+// recurses through RawComparatorFor), and component types without a raw
+// comparator (BoolWritable) take the deserialize-compare path with the same
+// result.
+func TestPairNestedAndFallbackComponents(t *testing.T) {
+	cmp := PairRawComparator{}
+	a := NewPair(NewPair(NewText("x"), NewInt(1)), NewBool(false))
+	b := NewPair(NewPair(NewText("x"), NewInt(2)), NewBool(true))
+	ra, err := wio.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := wio.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sign(cmp.CompareRaw(ra, rb)) != -1 || sign(cmp.Compare(a, b)) != -1 {
+		t.Fatalf("nested pair order: raw=%d mem=%d want -1", cmp.CompareRaw(ra, rb), cmp.Compare(a, b))
+	}
+	// Equal nested firsts: the Bool fallback decides.
+	c := NewPair(NewPair(NewText("x"), NewInt(1)), NewBool(true))
+	rc, err := wio.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sign(cmp.CompareRaw(ra, rc)) != -1 {
+		t.Fatalf("bool fallback raw order: %d want -1", cmp.CompareRaw(ra, rc))
+	}
+	if sign(cmp.Compare(a, c)) != -1 {
+		t.Fatalf("bool fallback mem order: %d want -1", cmp.Compare(a, c))
+	}
+}
+
+// TestPairRawComparatorRegistered: RawComparatorFor must hand back the pair
+// comparator so engine.Resolve wires composite keys onto the raw fast path
+// in both engines.
+func TestPairRawComparatorRegistered(t *testing.T) {
+	raw := RawComparatorFor(PairName)
+	if raw == nil {
+		t.Fatal("RawComparatorFor(PairName) = nil")
+	}
+	if _, ok := raw.(PairRawComparator); !ok {
+		t.Fatalf("RawComparatorFor(PairName) = %T", raw)
+	}
+}
+
+// TestPairHeterogeneousComponentsTotalOrder: mixed component classes order
+// by class name, identically raw and deserialized — the order stays total
+// even for unusual key sets.
+func TestPairHeterogeneousComponentsTotalOrder(t *testing.T) {
+	cmp := PairRawComparator{}
+	a := NewPair(NewInt(5), Null())
+	b := NewPair(NewText("5"), Null())
+	ra, _ := wio.Marshal(a)
+	rb, _ := wio.Marshal(b)
+	memc, rawc := sign(cmp.Compare(a, b)), sign(cmp.CompareRaw(ra, rb))
+	if memc != rawc || memc == 0 {
+		t.Fatalf("heterogeneous order: mem=%d raw=%d", memc, rawc)
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
