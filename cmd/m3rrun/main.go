@@ -6,6 +6,15 @@
 //	go run ./cmd/m3rrun -job wordcount -engine m3r
 //	go run ./cmd/m3rrun -job matvec -engine hadoop -nodes 8
 //	go run ./cmd/m3rrun -job wordcount -engine m3r -server   # via TCP
+//
+// Job lifecycle knobs:
+//
+//	-deadline 30s       fail each job that outlives the deadline
+//	                    (m3r.job.deadline.ms)
+//	-max-attempts 3     bound per-task re-execution on the hadoop engine
+//	                    (mapred.map.max.attempts / mapred.reduce.max.attempts)
+//	-failover           on an m3r job failure, roll back and resubmit the
+//	                    job to the hadoop engine (m3r.job.failover)
 package main
 
 import (
@@ -44,7 +53,12 @@ var (
 	// per-place pool, with the largest-first policy arbitrating overflow.
 	engineBudget = flag.Int64("engine-shuffle-budget", 0,
 		"engine-scoped per-place shuffle memory pool in bytes, shared by all jobs of the sequence (0 = M3R_ENGINE_SHUFFLE_BUDGET_BYTES env default, negative = no pool)")
-	confProps propFlags
+	// Job lifecycle knobs (shorthand for m3r.job.deadline.ms,
+	// mapred.{map,reduce}.max.attempts, and m3r.job.failover).
+	deadline    = flag.Duration("deadline", 0, "per-job deadline; a job that outlives it fails with a deadline error (0 = none)")
+	maxAttempts = flag.Int("max-attempts", 0, "max task attempts on the hadoop engine, map and reduce (0 = engine default)")
+	failover    = flag.Bool("failover", false, "resubmit failed m3r jobs to the hadoop engine after rollback (m3r.job.failover)")
+	confProps   propFlags
 )
 
 // propFlags collects repeatable -D key=value job configuration overrides,
@@ -98,6 +112,14 @@ func main() {
 			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyM3RSpillQueue, *spillQueue))
 		case "readmit":
 			confProps = append(confProps, fmt.Sprintf("%s=%t", conf.KeyM3RReadmit, *readmit))
+		case "deadline":
+			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyJobDeadlineMS, deadline.Milliseconds()))
+		case "max-attempts":
+			confProps = append(confProps,
+				fmt.Sprintf("%s=%d", conf.KeyMaxMapAttempts, *maxAttempts),
+				fmt.Sprintf("%s=%d", conf.KeyMaxReduceAttempts, *maxAttempts))
+		case "failover":
+			confProps = append(confProps, fmt.Sprintf("%s=%t", conf.KeyM3RFailover, *failover))
 		}
 	})
 	cluster, err := lab.New(lab.Options{Nodes: *nodes, ShuffleBudgetBytes: *engineBudget})

@@ -36,6 +36,7 @@ const (
 	KeyNumMapTasks           = "mapred.map.tasks" // hint, as in Hadoop
 	KeySortMB                = "io.sort.mb"
 	KeyMaxMapAttempts        = "mapred.map.max.attempts"
+	KeyMaxReduceAttempts     = "mapred.reduce.max.attempts"
 	KeyFSInstance            = "fs.instance.id" // which registered FileSystem to use
 	KeyJobEndNotificationURL = "job.end.notification.url"
 	KeyJobQueueName          = "mapred.job.queue.name"
@@ -100,6 +101,19 @@ const (
 	// engages (default engine.DefaultMergeMinRuns): merging a handful of
 	// runs is faster on one goroutine than through channel hand-offs.
 	KeyMergeMinRuns = "m3r.merge.min.runs"
+	// KeyJobDeadlineMS bounds a job's wall-clock time in milliseconds: a
+	// watchdog cancels the job at expiry and it fails with
+	// engine.ErrDeadlineExceeded. Unset or non-positive means no deadline.
+	// Both engines honour it (setup through commit), as does server mode.
+	KeyJobDeadlineMS = "m3r.job.deadline.ms"
+	// KeyM3RFailover, when true, makes the M3R engine resubmit a failed job
+	// to its configured fallback (stock Hadoop) engine after rolling back
+	// the job's cache entries and shuffle-pool reservations — the paper's
+	// integrated-mode resilience recipe (§5.3): M3R itself keeps its
+	// no-task-resilience design point, and resilience comes from rerunning
+	// on the resilient engine. Killed and deadline-expired jobs never fail
+	// over (cancellation is a verdict, not a fault). Default false.
+	KeyM3RFailover = "m3r.job.failover"
 )
 
 // DefaultTempPrefix is the output-basename prefix that marks a path as

@@ -76,6 +76,16 @@ const (
 	AliasedPairs        = "ALIASED_PAIRS"
 	DedupHits           = "DEDUP_HITS"
 	TempOutputsElided   = "TEMP_OUTPUTS_ELIDED"
+
+	// Job-lifecycle counters. Killed and deadline-expired jobs produce no
+	// report, so JOBS_KILLED / JOBS_DEADLINE_EXCEEDED appear only in
+	// engine-level stats sinks; TASK_ATTEMPT_RETRIES (Hadoop engine task
+	// re-execution) and FAILOVER_JOBS (M3R job-level failover, counted in
+	// the fallback engine's report) also reach job reports.
+	JobsKilled           = "JOBS_KILLED"
+	JobsDeadlineExceeded = "JOBS_DEADLINE_EXCEEDED"
+	TaskAttemptRetries   = "TASK_ATTEMPT_RETRIES"
+	FailoverJobs         = "FAILOVER_JOBS"
 )
 
 // Counter is a single named accumulator, safe for concurrent use.

@@ -63,6 +63,11 @@ type MergeConfig struct {
 	Parallelism int
 	// MinRuns is the minimum run count for staging to engage.
 	MinRuns int
+	// Lifecycle, when non-nil, cancels an engaged staged merge when the job
+	// is killed: a watcher ties the lifecycle to the merge group's abort, so
+	// worker goroutines stop even while the consumer is blocked inside a
+	// UDF. Nil means the merge is governed only by its consumer.
+	Lifecycle *JobLifecycle
 }
 
 // MergeConfigFromJob reads conf.KeyMergeParallelism ("auto" or a negative
@@ -288,6 +293,10 @@ func stagedWorker[T any](g *stagedGroup[T], srcs []Source[T], cmp func(a, b T) i
 // (closing any one cancels the group, but Close waits per-stream for its
 // worker's resources to be released).
 func StageSources[T any](sources []Source[T], cmp func(a, b T) int, stages int) []Source[T] {
+	return stageSources(sources, cmp, stages, nil)
+}
+
+func stageSources[T any](sources []Source[T], cmp func(a, b T) int, stages int, lc *JobLifecycle) []Source[T] {
 	if stages < 1 {
 		// A non-positive stage count would spawn no workers and silently
 		// drop (and leak) every source; one worker is the degenerate merge.
@@ -297,6 +306,19 @@ func StageSources[T any](sources []Source[T], cmp func(a, b T) int, stages int) 
 	g := &stagedGroup[T]{
 		cancel: make(chan struct{}),
 		free:   make(chan []T, stages*(stagedChanDepth+1)),
+	}
+	if lc != nil {
+		// Tie the job's cancel source to the group: a kill aborts the merge
+		// (workers drop their sources and exit) without waiting for the
+		// consumer to come back for another pair. The watcher exits when
+		// either side fires.
+		go func() {
+			select {
+			case <-lc.Done():
+				g.abort(lc.Err())
+			case <-g.cancel:
+			}
+		}()
 	}
 	out := make([]Source[T], 0, stages)
 	for i := 0; i < stages; i++ {
@@ -323,7 +345,7 @@ func StageIfConfigured[T any](srcs []Source[T], cmp func(a, b T) int,
 	if stagesCell != nil {
 		stagesCell.Increment(int64(s))
 	}
-	return StageSources(srcs, cmp, s)
+	return stageSources(srcs, cmp, s, cfg.Lifecycle)
 }
 
 // WidenSources converts a slice of concrete merge sources to []Source[T]

@@ -1,0 +1,109 @@
+package hadoop
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the local-filesystem fault seam for the Hadoop engine's task
+// files (map spills, merged map output, fetched reduce segments). Every
+// create on a task-attempt path goes through createLocalFile, which consults
+// an injectable fault hook before touching the disk. The seam exists so the
+// bounded re-execution machinery (runAttempts) can be pinned by tests — and
+// by the CI chaos leg — against deterministic transient failures: an
+// attempt's create fails, the attempt is torn down, the retry succeeds, and
+// the job's final bytes must match a fault-free run exactly.
+
+// createFileFault, when set, is called with the target path before each
+// create; a non-nil return fails the create with that error. The hook must
+// be safe for concurrent use — map and reduce tasks create files from many
+// goroutines.
+var createFileFault atomic.Value // of func(string) error
+
+// SetCreateFileFault installs (or, with nil, clears) the fault hook applied
+// to every local task-file create. Test-only seam.
+func SetCreateFileFault(f func(path string) error) {
+	if f == nil {
+		f = func(string) error { return nil }
+	}
+	createFileFault.Store(f)
+}
+
+// createLocalFile is os.Create behind the fault seam. All task-attempt file
+// creates in this engine go through it.
+func createLocalFile(path string) (*os.File, error) {
+	if f, _ := createFileFault.Load().(func(string) error); f != nil {
+		if err := f(path); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
+// ErrInjectedFault marks a fault-seam failure so tests (and retry logs) can
+// tell injected flakiness from real disk errors.
+var ErrInjectedFault = fmt.Errorf("hadoop: injected transient create fault")
+
+// FailNthCreates returns a fault hook that fails the listed create
+// operations (1-based, in global admission order) exactly once each, then
+// heals. Deterministic under a fixed schedule of creates; with concurrent
+// tasks the op indices interleave, so tests that need exact placement run
+// single-threaded phases. The second return value reports how many faults
+// have fired.
+func FailNthCreates(ops ...int) (func(path string) error, func() int) {
+	failAt := make(map[int]*sync.Once, len(ops))
+	for _, op := range ops {
+		failAt[op] = new(sync.Once)
+	}
+	var counter atomic.Int64
+	var fired atomic.Int64
+	hook := func(path string) error {
+		n := int(counter.Add(1))
+		once, ok := failAt[n]
+		if !ok {
+			return nil
+		}
+		var err error
+		once.Do(func() {
+			fired.Add(1)
+			err = fmt.Errorf("%w: op %d (%s)", ErrInjectedFault, n, path)
+		})
+		return err
+	}
+	return hook, func() int { return int(fired.Load()) }
+}
+
+// init arms the seam from the environment so the CI chaos leg can inject
+// flakiness into any test binary without code changes:
+//
+//	M3R_CHAOS_FS_FAIL_OPS=3,7  # fail the 3rd and 7th create once each
+//
+// Each listed op fails exactly once, then heals — a retrying engine absorbs
+// it; an engine without retry surfaces ErrInjectedFault.
+func init() {
+	spec := os.Getenv("M3R_CHAOS_FS_FAIL_OPS")
+	if spec == "" {
+		return
+	}
+	var ops []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			continue
+		}
+		ops = append(ops, n)
+	}
+	if len(ops) == 0 {
+		return
+	}
+	hook, _ := FailNthCreates(ops...)
+	SetCreateFileFault(hook)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 
 	"m3r/internal/counters"
 	"m3r/internal/engine"
@@ -26,7 +27,7 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("hadoop: map task panicked: %v", p)
+			err = fmt.Errorf("hadoop: map task panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
 
@@ -53,8 +54,10 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 		limit = v
 	}
 	buf := &sortBuffer{
-		run:     r,
-		taskDir: filepath.Join(r.jobDir, fmt.Sprintf("map_%06d", t.index)),
+		run: r,
+		// Attempt-scoped, so a retried attempt never aliases the files of a
+		// failed predecessor mid-teardown.
+		taskDir: filepath.Join(r.jobDir, fmt.Sprintf("map_%06d_%d", t.index, attempt)),
 		parts:   make([][]spill.Rec, r.rj.NumReducers),
 		limit:   limit,
 		ctx:     ctx,
@@ -70,7 +73,13 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 	partitioner := r.rj.NewPartitioner()
 
 	outputCell, bytesCell := ctx.Cells.MapOutputRecords, ctx.Cells.MapOutputBytes
+	lc := r.lc
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		// Per-record cancel check: one atomic load; the kill unwinds
+		// through the mapper as an ordinary collect error.
+		if err := lc.Err(); err != nil {
+			return err
+		}
 		p := partitioner.GetPartition(key, value, r.rj.NumReducers)
 		if p < 0 || p >= r.rj.NumReducers {
 			return fmt.Errorf("hadoop: partitioner returned %d of %d", p, r.rj.NumReducers)
@@ -120,7 +129,11 @@ func (r *jobRun) runMapOnlyTask(t *pendingTask, taskID string,
 		writer = w
 	}
 	outputCell := ctx.Cells.MapOutputRecords
+	lc := r.lc
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		if err := lc.Err(); err != nil {
+			return err
+		}
 		outputCell.Increment(1)
 		return writer.Write(key, value)
 	})
@@ -135,6 +148,11 @@ func (r *jobRun) runMapOnlyTask(t *pendingTask, taskID string,
 		return err
 	}
 	if writeOutput {
+		// A kill racing the task's tail aborts instead of committing.
+		if err := lc.Err(); err != nil {
+			r.committer.AbortTask(job, taskID)
+			return err
+		}
 		if err := r.committer.CommitTask(job, taskID); err != nil {
 			return err
 		}
@@ -177,7 +195,7 @@ func (b *sortBuffer) add(p int, r spill.Rec) error {
 // writes one spill file.
 func (b *sortBuffer) spill() error {
 	path := filepath.Join(b.taskDir, fmt.Sprintf("spill_%d", len(b.spills)))
-	f, err := os.Create(path)
+	f, err := createLocalFile(path)
 	if err != nil {
 		return err
 	}
@@ -294,7 +312,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 	// Multi-spill: k-way merge each partition into file.out, re-reading
 	// and re-writing every byte (Hadoop's on-disk merge).
 	outPath := filepath.Join(b.taskDir, "file.out")
-	f, err := os.Create(outPath)
+	f, err := createLocalFile(outPath)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 
 	"m3r/internal/conf"
 	"m3r/internal/counters"
@@ -27,7 +28,7 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("hadoop: reduce task panicked: %v", p)
+			err = fmt.Errorf("hadoop: reduce task panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
 
@@ -63,8 +64,11 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 	}
 	// The segment merge stages across worker goroutines when the task has
 	// enough map segments and the job asks for it (conf.KeyMergeParallelism)
-	// — byte-identical output either way.
-	m, err := newStagedMerger(streams, rawCmp, engine.MergeConfigFromJob(taskJob), ctx.Cells.ParallelMergeStages)
+	// — byte-identical output either way. The lifecycle lets a kill abort
+	// an engaged staged merge's workers directly.
+	mergeCfg := engine.MergeConfigFromJob(taskJob)
+	mergeCfg.Lifecycle = r.lc
+	m, err := newStagedMerger(streams, rawCmp, mergeCfg, ctx.Cells.ParallelMergeStages)
 	if err != nil {
 		return err
 	}
@@ -91,7 +95,12 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 		writer = w
 	}
 	outputCell := ctx.Cells.ReduceOutputRecords
+	lc := r.lc
 	collector := mapred.CollectorFunc(func(key, value wio.Writable) error {
+		// Per-record cancel check on the reduce output path.
+		if err := lc.Err(); err != nil {
+			return err
+		}
 		outputCell.Increment(1)
 		return writer.Write(key, value)
 	})
@@ -107,6 +116,12 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 		return err
 	}
 	if writeOutput {
+		// A kill racing the task's tail aborts instead of committing: the
+		// attempt-scoped scratch is discarded, never renamed into place.
+		if err := lc.Err(); err != nil {
+			r.committer.AbortTask(taskJob, taskID)
+			return err
+		}
 		if err := r.committer.CommitTask(taskJob, taskID); err != nil {
 			return err
 		}
@@ -127,6 +142,11 @@ func (r *jobRun) fetchSegments(partition int, node, reduceDir string, ctx *engin
 	e := r.engine
 	var out []string
 	for i, mo := range r.mapOutputs {
+		// Per-segment cancel check: a killed job stops fetching (and paying
+		// network cost) at the next segment boundary.
+		if err := r.lc.Err(); err != nil {
+			return nil, err
+		}
 		if mo == nil {
 			return nil, fmt.Errorf("hadoop: map output %d missing", i)
 		}
@@ -143,7 +163,7 @@ func (r *jobRun) fetchSegments(partition int, node, reduceDir string, ctx *engin
 			return nil, err
 		}
 		dstPath := filepath.Join(reduceDir, fmt.Sprintf("seg_%06d", i))
-		dst, err := os.Create(dstPath)
+		dst, err := createLocalFile(dstPath)
 		if err != nil {
 			src.Close()
 			return nil, err

@@ -38,6 +38,18 @@ func newCluster(t *testing.T, nodes int) *cluster {
 // environment default, negative forces no pool).
 func newClusterPool(t *testing.T, nodes int, poolBytes int64) *cluster {
 	t.Helper()
+	return newClusterOpts(t, nodes, poolBytes, false)
+}
+
+// newClusterFallback is newCluster with the hadoop engine wired as the m3r
+// engine's fallback (m3r.Options.Fallback), for integrated-mode failover.
+func newClusterFallback(t *testing.T, nodes int) *cluster {
+	t.Helper()
+	return newClusterOpts(t, nodes, 0, true)
+}
+
+func newClusterOpts(t *testing.T, nodes int, poolBytes int64, fallback bool) *cluster {
+	t.Helper()
 	stats := sim.NewStats()
 	cost := sim.Zero()
 	// Host names must match the x10 runtime's ("node0"...).
@@ -66,14 +78,18 @@ func newClusterPool(t *testing.T, nodes int, poolBytes int64) *cluster {
 	if err != nil {
 		t.Fatalf("hadoop engine: %v", err)
 	}
-	me, err := m3r.New(m3r.Options{
+	mopts := m3r.Options{
 		Backing:            fs,
 		Places:             nodes,
 		WorkersPerPlace:    2,
 		ShuffleBudgetBytes: poolBytes,
 		Stats:              stats,
 		Cost:               cost,
-	})
+	}
+	if fallback {
+		mopts.Fallback = he
+	}
+	me, err := m3r.New(mopts)
 	if err != nil {
 		t.Fatalf("m3r engine: %v", err)
 	}

@@ -1,0 +1,505 @@
+package integration_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m3r/internal/conf"
+	"m3r/internal/counters"
+	"m3r/internal/dfs"
+	"m3r/internal/engine"
+	"m3r/internal/hadoop"
+	"m3r/internal/mapred"
+	"m3r/internal/sim"
+	"m3r/internal/spill"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+	"m3r/internal/wordcount"
+)
+
+// ---- phase gates: block a UDF inside a chosen phase so a kill can be
+// injected at a precise point of the job's execution ----
+
+// phaseGate coordinates one leg of the kill grid: the gated UDF signals
+// reached, then blocks until release closes. The test kills the job between
+// the two, so the cancellation lands while the job is provably inside the
+// phase under test.
+type phaseGate struct {
+	reached chan struct{}
+	release chan struct{}
+	once    sync.Once
+	first   atomic.Bool  // single-blocker points (close gates)
+	inst    atomic.Int32 // mapper instance numbering for the "task" point
+}
+
+func newPhaseGate() *phaseGate {
+	return &phaseGate{reached: make(chan struct{}), release: make(chan struct{})}
+}
+
+// arrive blocks every caller until release (first caller signals reached).
+func (g *phaseGate) arrive() {
+	g.once.Do(func() { close(g.reached) })
+	<-g.release
+}
+
+// arriveFirst blocks only the first caller; later callers pass through, so
+// exactly one task sits in the gated point while the rest of the job
+// proceeds (the barrier and commit legs).
+func (g *phaseGate) arriveFirst() {
+	if g.first.CompareAndSwap(false, true) {
+		close(g.reached)
+		<-g.release
+	}
+}
+
+var phaseGates sync.Map // gate id -> *phaseGate
+
+// gateMapper tokenizes lines into (word, 1) pairs, optionally blocking on
+// its job's phase gate: at the first record of every task ("map"), at the
+// first record of the N-th task instance ("task" + test.gate.task), or in
+// the first task's Close ("map.close").
+type gateMapper struct {
+	mapred.Base
+	g       *phaseGate
+	point   string
+	inst    int32
+	taskN   int
+	engaged bool
+}
+
+func (m *gateMapper) Configure(job *conf.JobConf) {
+	if v, ok := phaseGates.Load(job.Get("test.gate.id")); ok {
+		m.g = v.(*phaseGate)
+		m.inst = m.g.inst.Add(1)
+	}
+	m.point = job.Get("test.gate.map.point")
+	m.taskN = job.GetInt("test.gate.task", 0)
+}
+
+func (m *gateMapper) Map(_, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	if m.g != nil && !m.engaged {
+		switch m.point {
+		case "map":
+			m.engaged = true
+			m.g.arrive()
+		case "task":
+			if int(m.inst) == m.taskN {
+				m.engaged = true
+				m.g.arrive()
+			}
+		}
+	}
+	for _, tok := range strings.Fields(value.(*types.Text).String()) {
+		if err := out.Collect(types.NewText(tok), types.NewInt(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *gateMapper) Close() error {
+	if m.g != nil && m.point == "map.close" {
+		m.g.arriveFirst()
+	}
+	return nil
+}
+
+// gateReducer counts each group's values, optionally blocking at the first
+// group ("reduce") or in the first reducer's Close ("reduce.close").
+type gateReducer struct {
+	mapred.Base
+	g       *phaseGate
+	point   string
+	engaged bool
+}
+
+func (r *gateReducer) Configure(job *conf.JobConf) {
+	if v, ok := phaseGates.Load(job.Get("test.gate.id")); ok {
+		r.g = v.(*phaseGate)
+	}
+	r.point = job.Get("test.gate.reduce.point")
+}
+
+func (r *gateReducer) Reduce(key wio.Writable, values mapred.ValueIterator, out mapred.OutputCollector, _ mapred.Reporter) error {
+	if r.g != nil && r.point == "reduce" && !r.engaged {
+		r.engaged = true
+		r.g.arrive()
+	}
+	n := int32(0)
+	for {
+		if _, ok := values.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return out.Collect(key, types.NewInt(n))
+}
+
+func (r *gateReducer) Close() error {
+	if r.g != nil && r.point == "reduce.close" {
+		r.g.arriveFirst()
+	}
+	return nil
+}
+
+// slowMapper sleeps per input record, so a short m3r.job.deadline.ms
+// reliably expires mid-map.
+type slowMapper struct{ mapred.Base }
+
+func (*slowMapper) Map(_, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	time.Sleep(2 * time.Millisecond)
+	for _, tok := range strings.Fields(value.(*types.Text).String()) {
+		if err := out.Collect(types.NewText(tok), types.NewInt(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failOnceMapper tokenizes like gateMapper but fails exactly one Map call
+// while its job's registry entry is armed — the transient fault driving the
+// m3r → hadoop failover test.
+type failOnceMapper struct {
+	mapred.Base
+	armed *atomic.Bool
+}
+
+var failOnces sync.Map // id -> *atomic.Bool
+
+var errInjectedTask = errors.New("injected m3r task failure")
+
+func (m *failOnceMapper) Configure(job *conf.JobConf) {
+	if v, ok := failOnces.Load(job.Get("test.failonce.id")); ok {
+		m.armed = v.(*atomic.Bool)
+	}
+}
+
+func (m *failOnceMapper) Map(_, value wio.Writable, out mapred.OutputCollector, _ mapred.Reporter) error {
+	if m.armed != nil && m.armed.CompareAndSwap(true, false) {
+		return errInjectedTask
+	}
+	for _, tok := range strings.Fields(value.(*types.Text).String()) {
+		if err := out.Collect(types.NewText(tok), types.NewInt(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	mapred.RegisterMapper("test.GateMapper", func() mapred.Mapper { return &gateMapper{} })
+	mapred.RegisterReducer("test.GateReducer", func() mapred.Reducer { return &gateReducer{} })
+	mapred.RegisterMapper("test.SlowMapper", func() mapred.Mapper { return &slowMapper{} })
+	mapred.RegisterMapper("test.FailOnceMapper", func() mapred.Mapper { return &failOnceMapper{} })
+}
+
+// ---- the kill grid ----
+
+// killLeg is one point of the kill grid: where the gate sits and the job
+// configuration that makes that phase real (spills queued, staged merge
+// engaged, ...).
+type killLeg struct {
+	name        string
+	mapPoint    string
+	reducePoint string
+	conf        func(job *conf.JobConf)
+}
+
+var killLegs = []killLeg{
+	// Mid-map: every task blocks at its first record.
+	{name: "map", mapPoint: "map"},
+	// Mid-map with the async spill pipeline engaged: a starvation budget
+	// spills every run through a depth-2 queue (m3r) / a tiny sort buffer
+	// forces multi-spill map tasks (hadoop); the third task blocks mid-map
+	// while earlier tasks' spills move through the machinery.
+	{name: "spill", mapPoint: "task", conf: func(job *conf.JobConf) {
+		job.SetInt("test.gate.task", 3)
+		job.SetInt64(conf.KeyM3RShuffleBudget, 1)
+		job.SetInt(conf.KeyM3RSpillQueue, 2)
+		job.SetInt64("io.sort.bytes", 256)
+	}},
+	// Map tail / shuffle barrier: one task blocks in Close while every
+	// other task finishes — on m3r the remaining places wait at the shuffle
+	// barrier, which must wake on the kill.
+	{name: "barrier", mapPoint: "map.close"},
+	// Mid reduce-side merge: spilled runs feed a staged parallel merge and
+	// every reducer blocks at its first group, so merge workers are
+	// in-flight when the kill lands.
+	{name: "merge", reducePoint: "reduce", conf: func(job *conf.JobConf) {
+		job.SetInt64(conf.KeyM3RShuffleBudget, 1)
+		job.SetInt(conf.KeyMergeParallelism, 4)
+		job.SetInt(conf.KeyMergeMinRuns, 2)
+		job.SetInt64("io.sort.bytes", 256)
+	}},
+	// Mid-reduce, plain merge.
+	{name: "reduce", reducePoint: "reduce"},
+	// Commit tail: the first reducer blocks in Close with its output
+	// written; the kill must abort instead of committing.
+	{name: "commit", reducePoint: "reduce.close"},
+}
+
+func killGridJob(in, out, gateID string, leg killLeg) *conf.JobConf {
+	job := conf.NewJob()
+	job.SetJobName("kill-" + leg.name)
+	job.AddInputPath(in)
+	job.SetOutputPath(out)
+	job.SetMapperClass("test.GateMapper")
+	job.SetReducerClass("test.GateReducer")
+	job.SetNumReduceTasks(3)
+	job.SetMapOutputKeyClass(types.TextName)
+	job.SetMapOutputValueClass(types.IntName)
+	job.SetOutputKeyClass(types.TextName)
+	job.SetOutputValueClass(types.IntName)
+	job.Set("test.gate.id", gateID)
+	job.Set("test.gate.map.point", leg.mapPoint)
+	job.Set("test.gate.reduce.point", leg.reducePoint)
+	if leg.conf != nil {
+		leg.conf(job)
+	}
+	return job
+}
+
+// assertNoJobDroppings checks a killed job left no commit scratch behind.
+// allowParts tolerates task outputs committed before the kill landed (the
+// commit-phase leg kills between task commits and the job commit).
+func assertNoJobDroppings(t *testing.T, fs dfs.FileSystem, dir string, allowParts bool) {
+	t.Helper()
+	files, err := dfs.ListRecursive(fs, dir)
+	if err != nil {
+		return // output dir never created: nothing leaked
+	}
+	for _, f := range files {
+		if strings.Contains(f.Path, "_temporary") {
+			t.Errorf("killed job left commit scratch %s", f.Path)
+		}
+		if !allowParts && strings.HasPrefix(dfs.Base(f.Path), "part-") {
+			t.Errorf("killed job left output %s", f.Path)
+		}
+	}
+}
+
+// TestKillGridBothEngines injects a kill while a job is provably inside
+// each phase — map, spill, barrier, merge, reduce, commit — on both
+// engines, and checks the job terminates promptly with the distinct
+// ErrJobKilled cause, the shared shuffle pool drains, no spill stream stays
+// open, and no commit scratch survives.
+func TestKillGridBothEngines(t *testing.T) {
+	c := newClusterPool(t, 2, 1<<20) // engine pool: held-bytes must return to 0
+	if err := wordcount.Generate(c.fs, "/data/K", 256<<10, 7); err != nil {
+		t.Fatal(err)
+	}
+	streamBase := spill.OpenStreamCount()
+
+	engines := []engine.Engine{c.m3r, c.hadoop}
+	for _, eng := range engines {
+		sc, ok := eng.(engine.LifecycleSubmitter)
+		if !ok {
+			t.Fatalf("%s engine does not support controlled submission", eng.Name())
+		}
+		for _, leg := range killLegs {
+			t.Run(eng.Name()+"/"+leg.name, func(t *testing.T) {
+				gateID := eng.Name() + "-" + leg.name
+				g := newPhaseGate()
+				phaseGates.Store(gateID, g)
+				defer phaseGates.Delete(gateID)
+
+				out := "/out/kill-" + gateID
+				job := killGridJob("/data/K", out, gateID, leg)
+				killedBefore := c.stats.Get(sim.JobsKilled)
+
+				lc := engine.NewJobLifecycle()
+				errCh := make(chan error, 1)
+				go func() {
+					_, err := sc.SubmitControlled(job, lc)
+					errCh <- err
+				}()
+				select {
+				case <-g.reached:
+				case err := <-errCh:
+					t.Fatalf("job terminated before the %s gate: %v", leg.name, err)
+				case <-time.After(30 * time.Second):
+					t.Fatalf("the %s gate was never reached", leg.name)
+				}
+				lc.Kill(engine.ErrJobKilled)
+				close(g.release)
+				var err error
+				select {
+				case err = <-errCh:
+				case <-time.After(30 * time.Second):
+					t.Fatal("killed job never terminated")
+				}
+				if !errors.Is(err, engine.ErrJobKilled) {
+					t.Fatalf("killed job error = %v, want ErrJobKilled", err)
+				}
+				if errors.Is(err, engine.ErrDeadlineExceeded) {
+					t.Fatalf("kill misclassified as deadline: %v", err)
+				}
+				if got := c.stats.Get(sim.JobsKilled); got != killedBefore+1 {
+					t.Errorf("jobs.killed = %d, want %d", got, killedBefore+1)
+				}
+				if held := c.m3r.ShufflePoolHeldBytes(); held != 0 {
+					t.Errorf("shuffle pool holds %d bytes after kill", held)
+				}
+				if got := spill.OpenStreamCount(); got != streamBase {
+					t.Errorf("OpenStreamCount %d, baseline %d: leaked spill streams", got, streamBase)
+				}
+				assertNoJobDroppings(t, c.fs, out, leg.name == "commit")
+			})
+		}
+	}
+}
+
+// TestDeadlineBothEngines: a job whose mappers outlive m3r.job.deadline.ms
+// fails with the distinct deadline cause on both engines, through plain
+// Submit (the engine arms the watchdog from the job conf itself).
+func TestDeadlineBothEngines(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/D", 64<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []engine.Engine{c.m3r, c.hadoop} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			before := c.stats.Get(sim.JobsDeadlineExceeded)
+			job := conf.NewJob()
+			job.SetJobName("deadline")
+			job.AddInputPath("/data/D")
+			job.SetOutputPath("/out/deadline-" + eng.Name())
+			job.SetMapperClass("test.SlowMapper")
+			job.SetReducerClass("test.GateReducer")
+			job.SetNumReduceTasks(2)
+			job.SetMapOutputKeyClass(types.TextName)
+			job.SetMapOutputValueClass(types.IntName)
+			job.SetOutputKeyClass(types.TextName)
+			job.SetOutputValueClass(types.IntName)
+			job.SetInt(conf.KeyJobDeadlineMS, 50)
+			_, err := eng.Submit(job)
+			if !errors.Is(err, engine.ErrDeadlineExceeded) {
+				t.Fatalf("error = %v, want ErrDeadlineExceeded", err)
+			}
+			if errors.Is(err, engine.ErrJobKilled) {
+				t.Fatalf("deadline misclassified as kill: %v", err)
+			}
+			if got := c.stats.Get(sim.JobsDeadlineExceeded); got != before+1 {
+				t.Errorf("jobs.deadline.exceeded = %d, want %d", got, before+1)
+			}
+			assertNoJobDroppings(t, c.fs, "/out/deadline-"+eng.Name(), false)
+		})
+	}
+}
+
+// TestHadoopRetryFlakyFS proves bounded re-execution end to end: transient
+// create faults injected under two task attempts are absorbed by retry, the
+// job succeeds, and its output is byte-identical to a fault-free run.
+func TestHadoopRetryFlakyFS(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/F", 64<<10, 13); err != nil {
+		t.Fatal(err)
+	}
+	mkJob := func(out string) *conf.JobConf {
+		job := wordcount.NewJob("/data/F", out, 3, true)
+		job.SetInt64("io.sort.bytes", 2048) // multi-spill map tasks: many creates
+		return job
+	}
+	if _, err := c.hadoop.Submit(mkJob("/out/retry-clean")); err != nil {
+		t.Fatal(err)
+	}
+	want := readRawParts(t, c.fs, "/out/retry-clean")
+
+	hook, fired := hadoop.FailNthCreates(1, 2)
+	hadoop.SetCreateFileFault(hook)
+	defer hadoop.SetCreateFileFault(nil)
+	retriesBefore := c.stats.Get(sim.TaskRetries)
+	job := mkJob("/out/retry-flaky")
+	job.SetInt(conf.KeyMaxMapAttempts, 4)
+	job.SetInt(conf.KeyMaxReduceAttempts, 4)
+	rep, err := c.hadoop.Submit(job)
+	if err != nil {
+		t.Fatalf("flaky job did not survive retry: %v", err)
+	}
+	if got := fired(); got != 2 {
+		t.Fatalf("%d injected faults fired, want 2", got)
+	}
+	if got := rep.Counters.Value(counters.JobGroup, counters.TaskAttemptRetries); got < 1 {
+		t.Errorf("TASK_ATTEMPT_RETRIES = %d, want >= 1", got)
+	}
+	if got := c.stats.Get(sim.TaskRetries); got <= retriesBefore {
+		t.Errorf("task.retries did not move (%d)", got)
+	}
+	assertSameParts(t, "flaky-retry", readRawParts(t, c.fs, "/out/retry-flaky"), want)
+
+	// With a single attempt allowed, the same fault is terminal and carries
+	// the injected cause.
+	hook2, _ := hadoop.FailNthCreates(1)
+	hadoop.SetCreateFileFault(hook2)
+	job = mkJob("/out/retry-off")
+	job.SetInt(conf.KeyMaxMapAttempts, 1)
+	job.SetInt(conf.KeyMaxReduceAttempts, 1)
+	if _, err := c.hadoop.Submit(job); !errors.Is(err, hadoop.ErrInjectedFault) {
+		t.Fatalf("single-attempt flaky job: %v, want the injected fault", err)
+	}
+}
+
+// TestM3RFailoverToHadoop: with m3r.job.failover set and a fallback engine
+// wired, an m3r task failure rolls the job back and resubmits it to the
+// hadoop engine — the paper's integrated-mode resilience story (§5.3) made
+// automatic. Off by default: without the key the failure is terminal.
+func TestM3RFailoverToHadoop(t *testing.T) {
+	c := newClusterFallback(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/FO", 32<<10, 17); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/FO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJob := func(id, out string, failover bool) *conf.JobConf {
+		job := conf.NewJob()
+		job.SetJobName("failover")
+		job.AddInputPath("/data/FO")
+		job.SetOutputPath(out)
+		job.SetMapperClass("test.FailOnceMapper")
+		job.SetReducerClass("test.GateReducer")
+		job.SetNumReduceTasks(2)
+		job.SetMapOutputKeyClass(types.TextName)
+		job.SetMapOutputValueClass(types.IntName)
+		job.SetOutputKeyClass(types.TextName)
+		job.SetOutputValueClass(types.IntName)
+		job.Set("test.failonce.id", id)
+		job.SetBool(conf.KeyM3RFailover, failover)
+		return job
+	}
+	arm := func(id string) {
+		armed := &atomic.Bool{}
+		armed.Store(true)
+		failOnces.Store(id, armed)
+	}
+
+	// Failover off (the default): the injected task failure is terminal,
+	// M3R's "no resilience" design point.
+	arm("fo-off")
+	if _, err := c.m3r.Submit(mkJob("fo-off", "/out/fo-off", false)); !errors.Is(err, errInjectedTask) {
+		t.Fatalf("without failover: %v, want the injected task failure", err)
+	}
+
+	// Failover on: the job rolls back and reruns on the hadoop engine.
+	arm("fo-on")
+	rep, err := c.m3r.Submit(mkJob("fo-on", "/out/fo-on", true))
+	if err != nil {
+		t.Fatalf("failover did not rescue the job: %v", err)
+	}
+	if rep.Engine != "hadoop" {
+		t.Fatalf("failover report from engine %q, want hadoop", rep.Engine)
+	}
+	if got := rep.Counters.Value(counters.JobGroup, counters.FailoverJobs); got != 1 {
+		t.Errorf("FAILOVER_JOBS = %d, want 1", got)
+	}
+	if got := c.stats.Get(sim.FailoverJobs); got != 1 {
+		t.Errorf("failover.jobs = %d, want 1", got)
+	}
+	lines := readTextOutput(t, c.fs, "/out/fo-on")
+	checkCounts(t, lines, want)
+}

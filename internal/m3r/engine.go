@@ -1,9 +1,11 @@
 package m3r
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"slices"
 	"strconv"
 	"sync"
@@ -188,8 +190,16 @@ func (e *Engine) PlaceOfPartition(partition int) int {
 
 // Submit implements engine.Engine.
 func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
+	return e.SubmitControlled(userJob, nil)
+}
+
+// SubmitControlled implements engine.LifecycleSubmitter: it runs the job
+// under lc, so the caller (server mode's kill RPC, Shutdown's grace drain)
+// can cancel it while it runs. A nil lc gets a private lifecycle — Submit
+// is exactly that — which still honours the job's deadline key.
+func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle) (*engine.Report, error) {
 	if userJob.GetBool(conf.KeyForceHadoop, false) && e.fallback != nil {
-		return e.fallback.Submit(userJob)
+		return submitTo(e.fallback, userJob, lc)
 	}
 	start := time.Now()
 	e.mu.Lock()
@@ -201,8 +211,14 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	jobID := fmt.Sprintf("job_m3r_%04d", e.jobSeq)
 	e.mu.Unlock()
 
+	if lc == nil {
+		lc = engine.NewJobLifecycle()
+	}
+	defer lc.Stop()
+
 	job := userJob.CloneJob()
 	job.Set(conf.KeyFSInstance, e.fsID)
+	lc.ApplyDeadlineConf(job)
 	if files := job.Get(conf.KeyDistributedCacheFiles); files != "" {
 		// In-memory places read the distributed cache straight from the
 		// filesystem; expose the standard task-side key.
@@ -231,6 +247,7 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		job:           job,
 		rj:            rj,
 		jobID:         jobID,
+		lc:            lc,
 		jc:            counters.New(),
 		cacheEnabled:  job.GetBool(conf.KeyM3RCache, true),
 		dedup:         job.GetBool(conf.KeyM3RDedup, true),
@@ -238,6 +255,9 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		readmit:       job.GetBool(conf.KeyM3RReadmit, false),
 		mergeCfg:      engine.MergeConfigFromJob(job),
 	}
+	// A kill aborts an engaged staged merge's workers directly, not only
+	// through its consumer.
+	x.mergeCfg.Lifecycle = lc
 	defer x.cleanup()
 	// Budget admission: on a pooled engine every job is budgeted (the
 	// per-job key, when set, caps the job within the pool; an explicit
@@ -286,13 +306,54 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 		x.parts = append(x.parts, &partitionInput{x: x, place: e.PlaceOfPartition(i)})
 	}
 
-	if err := x.run(assignments); err != nil {
+	err = x.run(assignments)
+	if err == nil {
+		// A kill that lands between the last task and the job commit is
+		// still a kill: commit is the one irrevocable step, so it gets the
+		// final check.
+		err = lc.Err()
+	}
+	if err != nil {
 		// A failed job must not leave the committer's _temporary scratch
 		// space behind on the (caching) filesystem.
 		if x.writeOutput {
 			x.committer.AbortJob(job)
 		}
-		return nil, fmt.Errorf("m3r: %s: %w", jobID, err)
+		if cause := lc.Err(); cause != nil {
+			// Cancelled: tasks unwinding concurrently may surface secondary
+			// errors (merge cancelled, collector aborts); the verdict is the
+			// cancellation cause, and errors.Is against ErrJobKilled /
+			// ErrDeadlineExceeded must hold for the caller.
+			err = cause
+			switch {
+			case errors.Is(cause, engine.ErrDeadlineExceeded):
+				e.stats.Add(sim.JobsDeadlineExceeded, 1)
+			default:
+				e.stats.Add(sim.JobsKilled, 1)
+			}
+			return nil, fmt.Errorf("m3r: %s: %w", jobID, err)
+		}
+		err = fmt.Errorf("m3r: %s: %w", jobID, err)
+		if job.GetBool(conf.KeyM3RFailover, false) && e.fallback != nil {
+			// §5.3 integrated-mode resilience: M3R itself does not recover
+			// from task failure, but the job can be rerun on the resilient
+			// engine. Roll this attempt fully back first — drain the spill
+			// pipeline and pool reservations now (cleanup is idempotent;
+			// the deferred call becomes a no-op) and drop whatever output
+			// this attempt committed into the cache, so the fallback run's
+			// real files are not shadowed by stale cache entries.
+			x.cleanup()
+			if outPath != "" {
+				e.cache.Drop(outPath)
+				// CheckOutputSpecs proved the output path did not exist when
+				// this job started, so whatever is there now is this failed
+				// attempt's droppings — remove it or the fallback engine's
+				// own output check rejects the rerun.
+				e.cfs.Delete(dfs.CleanPath(outPath), true)
+			}
+			return e.failover(userJob, lc, err)
+		}
+		return nil, err
 	}
 	if x.writeOutput {
 		if err := x.committer.CommitJob(job); err != nil {
@@ -311,12 +372,38 @@ func (e *Engine) Submit(userJob *conf.JobConf) (*engine.Report, error) {
 	}, nil
 }
 
+// submitTo forwards a job to another engine, preserving the caller's kill
+// handle when that engine supports one.
+func submitTo(eng engine.Engine, job *conf.JobConf, lc *engine.JobLifecycle) (*engine.Report, error) {
+	if ls, ok := eng.(engine.LifecycleSubmitter); ok {
+		return ls.SubmitControlled(job, lc)
+	}
+	return eng.Submit(job)
+}
+
+// failover reruns a failed job on the fallback engine (m3r.job.failover).
+// The caller has already rolled this attempt back. The fallback run stays
+// under the same lifecycle, so a kill still reaches it; its report gains
+// FAILOVER_JOBS so the rerun is visible to the submitter.
+func (e *Engine) failover(userJob *conf.JobConf, lc *engine.JobLifecycle, m3rErr error) (*engine.Report, error) {
+	e.stats.Add(sim.FailoverJobs, 1)
+	rep, err := submitTo(e.fallback, userJob, lc)
+	if err != nil {
+		// Both engines failed; the fallback's error wraps the original so
+		// neither verdict is lost.
+		return nil, fmt.Errorf("%w (after failover: %v)", err, m3rErr)
+	}
+	rep.Counters.Incr(counters.JobGroup, counters.FailoverJobs, 1)
+	return rep, nil
+}
+
 // jobExec is the state of one executing job.
 type jobExec struct {
 	e            *Engine
 	job          *conf.JobConf
 	rj           *engine.ResolvedJob
 	jobID        string
+	lc           *engine.JobLifecycle
 	committer    *formats.FileOutputCommitter
 	jc           *counters.Counters
 	parts        []*partitionInput
@@ -544,12 +631,23 @@ func (x *jobExec) run(assignments []*mapAssignment) error {
 			}
 			// §5.1: "No reducer is allowed to run until globally all
 			// shuffle messages have been sent."
-			team.Barrier()
+			//
+			// A killed job wakes the wait early: every place shares the one
+			// cancel source, so whoever is parked here leaves with the
+			// cancellation cause instead of waiting for places that may be
+			// stuck in long map tails. (The generation is then abandoned,
+			// never reused — the job is tearing down.)
+			if err := team.BarrierCancel(x.lc.Done(), x.lc.Err); err != nil {
+				return err
+			}
 			if mapErr != nil {
 				return mapErr
 			}
 			if mapFailed.Load() {
 				return nil // another place failed; the job is already lost
+			}
+			if err := x.lc.Err(); err != nil {
+				return err
 			}
 			// The barrier extends over the async spill pipeline: after it,
 			// no map task anywhere can enqueue, so draining this place's
@@ -592,10 +690,14 @@ func (x *jobExec) run(assignments []*mapAssignment) error {
 // runMapTask executes one map task at its assigned place.
 func (x *jobExec) runMapTask(a *mapAssignment) (err error) {
 	e := x.e
+	if err := x.lc.Err(); err != nil {
+		// The job is already cancelled: don't launch the task at all.
+		return err
+	}
 	e.stats.Add(sim.TasksLaunched, 1)
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("map task %d panicked: %v", a.index, p)
+			err = fmt.Errorf("map task %d panicked: %v\n%s", a.index, p, debug.Stack())
 		}
 	}()
 	taskJob := x.job.CloneJob()
@@ -982,10 +1084,13 @@ func readSpilledRun(sr *spilledRun) ([]wio.Pair, error) {
 // runReduceTask executes one reduce partition at its stable place.
 func (x *jobExec) runReduceTask(q int) (err error) {
 	e := x.e
+	if err := x.lc.Err(); err != nil {
+		return err
+	}
 	e.stats.Add(sim.TasksLaunched, 1)
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("reduce task %d panicked: %v", q, p)
+			err = fmt.Errorf("reduce task %d panicked: %v\n%s", q, p, debug.Stack())
 		}
 	}()
 	place := e.PlaceOfPartition(q)
@@ -1075,7 +1180,11 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 		}
 	}()
 
-	if err := engine.DriveReduce(reducer, x.rj.GroupCmp, merged, collector, ctx, false); err != nil {
+	// The cancel wrapper is the reduce phase's per-record check: one atomic
+	// load per pair, surfacing the kill as the stream error so the merge
+	// closes and the committer aborts through the normal failure path.
+	in := engine.CancelPairIter(merged, x.lc)
+	if err := engine.DriveReduce(reducer, x.rj.GroupCmp, in, collector, ctx, false); err != nil {
 		if rw != nil {
 			rw.Close()
 			x.committer.AbortTask(taskJob, taskID)
@@ -1084,6 +1193,13 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	}
 	if rw != nil {
 		if err := rw.Close(); err != nil {
+			return err
+		}
+		// Task commit is a rename into the job's scratch space; a cancelled
+		// task aborts instead, so a kill racing the job's tail never
+		// half-publishes.
+		if err := x.lc.Err(); err != nil {
+			x.committer.AbortTask(taskJob, taskID)
 			return err
 		}
 		if err := x.committer.CommitTask(taskJob, taskID); err != nil {

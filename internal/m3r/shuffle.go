@@ -114,6 +114,12 @@ func (x *jobExec) newShuffleCollector(a *mapAssignment, ctx *engine.TaskContext)
 
 // Collect implements the collector contract.
 func (sc *shuffleCollector) Collect(key, value wio.Writable) error {
+	// The map phase's per-record cancel check: one atomic load. The error
+	// unwinds through the mapper into runMapTask's abort path, so the
+	// collector's pooled buffers return on kill exactly as on any failure.
+	if err := sc.x.lc.Err(); err != nil {
+		return err
+	}
 	q := sc.partitioner.GetPartition(key, value, sc.R)
 	if q < 0 || q >= sc.R {
 		return fmt.Errorf("m3r: partitioner returned %d of %d", q, sc.R)
@@ -347,6 +353,9 @@ func (x *jobExec) newMapOnlyCollector(a *mapAssignment, taskJob *conf.JobConf, c
 
 // Collect implements the collector contract.
 func (moc *mapOnlyCollector) Collect(key, value wio.Writable) error {
+	if err := moc.x.lc.Err(); err != nil {
+		return err
+	}
 	moc.ctx.Cells.MapOutputRecords.Increment(1)
 	if moc.cacheW != nil {
 		k, v := key, value
@@ -370,6 +379,11 @@ func (moc *mapOnlyCollector) Collect(key, value wio.Writable) error {
 func (moc *mapOnlyCollector) close() error {
 	if moc.rw != nil {
 		if err := moc.rw.Close(); err != nil {
+			return err
+		}
+		// A kill that lands before the task commit aborts instead (the
+		// caller's deferred abort cleans up).
+		if err := moc.x.lc.Err(); err != nil {
 			return err
 		}
 		if err := moc.x.committer.CommitTask(moc.taskJob, moc.taskID); err != nil {

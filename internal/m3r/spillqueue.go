@@ -2,6 +2,7 @@ package m3r
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +47,12 @@ type spillReq struct {
 // partition — the single spill write path, run inline by the map task when
 // no queue is configured and by the place's spill worker otherwise.
 func writeSpill(x *jobExec, req spillReq) error {
+	// Cancelled jobs stop paying for disk: the check covers the inline path
+	// (failing the flushing map task) and the worker path (the worker
+	// records the cause as its failure, voiding the queue's backlog).
+	if err := x.lc.Err(); err != nil {
+		return err
+	}
 	path, err := x.spillPath()
 	if err != nil {
 		return err
@@ -110,7 +117,7 @@ func (q *spillQueue) run() {
 func (q *spillQueue) write(req spillReq) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("spill worker panicked: %v", p)
+			err = fmt.Errorf("spill worker panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
 	return writeSpill(q.x, req)

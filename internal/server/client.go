@@ -12,6 +12,10 @@ import (
 
 func durationOf(ns int64) time.Duration { return time.Duration(ns) }
 
+// dialTimeout bounds connection establishment so a client against a dead
+// address fails promptly instead of hanging in the kernel's connect queue.
+const dialTimeout = 10 * time.Second
+
 // Client submits jobs to a server. It implements engine.Engine, so a
 // client program is oblivious to whether its JobClient talks to an
 // in-process engine (integrated mode) or a server (server mode) — the
@@ -44,7 +48,7 @@ func (c *Client) FileSystem() string { return c.fsID }
 func (c *Client) Close() error { return nil }
 
 func (c *Client) call(op byte, writeReq func(w *wio.Writer) error) (*wio.Reader, net.Conn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -123,7 +127,7 @@ func (c *Client) Poll(jobID string) (*JobStatus, error) {
 		return nil, err
 	}
 	switch st.State {
-	case StateFailed:
+	case StateFailed, StateKilled:
 		if st.Err, err = r.ReadString(); err != nil {
 			return nil, err
 		}
@@ -133,6 +137,20 @@ func (c *Client) Poll(jobID string) (*JobStatus, error) {
 		}
 	}
 	return st, nil
+}
+
+// Kill asks the server to cancel a running async job, returning the job's
+// state as of the RPC. Killing is asynchronous — the job reaches
+// StateKilled once the engine unwinds; poll (or WaitFor) for it.
+func (c *Client) Kill(jobID string) (string, error) {
+	r, conn, err := c.call(opKill, func(w *wio.Writer) error {
+		return w.WriteString(jobID)
+	})
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	return r.ReadString()
 }
 
 // JobSummary is one row of the server's job-queue listing.

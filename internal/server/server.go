@@ -12,14 +12,17 @@
 //	response: status byte (0 ok / 1 error), then payload or error string
 //
 // Ops: submit-sync (run job, return report), submit-async (return job id),
-// poll (job id → state [+ report]), fs-id (the engine's dfs instance id).
+// poll (job id → state [+ report]), fs-id (the engine's dfs instance id),
+// kill (job id → state; cancels a running async job).
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"m3r/internal/conf"
 	"m3r/internal/counters"
@@ -34,6 +37,7 @@ const (
 	opPoll        = 3
 	opFSID        = 4
 	opListJobs    = 5
+	opKill        = 6
 )
 
 // Job states reported by poll.
@@ -42,6 +46,7 @@ const (
 	StateRunning   = "running"
 	StateSucceeded = "succeeded"
 	StateFailed    = "failed"
+	StateKilled    = "killed"
 )
 
 // DefaultCompletedJobRetention bounds how many terminal (succeeded or
@@ -53,17 +58,43 @@ const (
 // jobs are never evicted.
 const DefaultCompletedJobRetention = 256
 
+// DefaultIOTimeout bounds each connection's request read and response
+// write, so a stalled or half-dead client cannot pin a handler goroutine
+// forever. Job execution time is never under this deadline — only the wire
+// I/O on either side of it.
+const DefaultIOTimeout = 30 * time.Second
+
+// Accept-loop backoff bounds: transient accept errors (EMFILE,
+// ECONNABORTED, ...) are retried with exponential backoff instead of
+// silently killing the daemon's accept loop.
+const (
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffCap  = time.Second
+)
+
+// Options configures a server beyond its engine and address.
+type Options struct {
+	// RetainCompleted bounds retained terminal job states; non-positive
+	// falls back to DefaultCompletedJobRetention.
+	RetainCompleted int
+	// IOTimeout bounds per-connection request reads and response writes;
+	// zero falls back to DefaultIOTimeout, negative disables deadlines.
+	IOTimeout time.Duration
+}
+
 // Server wraps an engine behind the TCP protocol.
 type Server struct {
-	eng    engine.Engine
-	ln     net.Listener
-	retain int
+	eng       engine.Engine
+	ln        net.Listener
+	retain    int
+	ioTimeout time.Duration
 
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*jobState
-	done []string // terminal job ids, oldest first, for bounded eviction
-	wg   sync.WaitGroup
+	mu      sync.Mutex
+	seq     int
+	jobs    map[string]*jobState
+	done    []string // terminal job ids, oldest first, for bounded eviction
+	syncLCs map[*engine.JobLifecycle]struct{}
+	wg      sync.WaitGroup
 }
 
 type jobState struct {
@@ -73,47 +104,118 @@ type jobState struct {
 	state  string
 	report *engine.Report
 	errMsg string
+	lc     *engine.JobLifecycle // non-nil while running, for kill/shutdown
 }
 
 // Serve starts a server for eng on addr (e.g. "127.0.0.1:0") with the
 // default completed-job retention.
 func Serve(eng engine.Engine, addr string) (*Server, error) {
-	return ServeWithRetention(eng, addr, DefaultCompletedJobRetention)
+	return ServeWithOptions(eng, addr, Options{})
 }
 
 // ServeWithRetention starts a server keeping at most retainCompleted
 // terminal job states (non-positive falls back to the default).
 func ServeWithRetention(eng engine.Engine, addr string, retainCompleted int) (*Server, error) {
-	if retainCompleted <= 0 {
-		retainCompleted = DefaultCompletedJobRetention
-	}
+	return ServeWithOptions(eng, addr, Options{RetainCompleted: retainCompleted})
+}
+
+// ServeWithOptions starts a server with explicit options.
+func ServeWithOptions(eng engine.Engine, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{eng: eng, ln: ln, retain: retainCompleted, jobs: make(map[string]*jobState)}
+	return serveListener(eng, ln, opts), nil
+}
+
+// serveListener wraps an already-listening socket — the seam that lets
+// tests inject accept faults.
+func serveListener(eng engine.Engine, ln net.Listener, opts Options) *Server {
+	if opts.RetainCompleted <= 0 {
+		opts.RetainCompleted = DefaultCompletedJobRetention
+	}
+	switch {
+	case opts.IOTimeout == 0:
+		opts.IOTimeout = DefaultIOTimeout
+	case opts.IOTimeout < 0:
+		opts.IOTimeout = 0
+	}
+	s := &Server{
+		eng:       eng,
+		ln:        ln,
+		retain:    opts.RetainCompleted,
+		ioTimeout: opts.IOTimeout,
+		jobs:      make(map[string]*jobState),
+		syncLCs:   make(map[*engine.JobLifecycle]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections (running jobs finish server-side).
+// Close stops accepting connections and waits for in-flight work (running
+// jobs finish server-side).
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting connections,
+// gives in-flight jobs and handlers up to grace to finish on their own,
+// then kills every still-running job's lifecycle and waits for the drain to
+// complete. With grace <= 0 running jobs are killed immediately.
+func (s *Server) Shutdown(grace time.Duration) error {
+	err := s.ln.Close()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	if grace > 0 {
+		select {
+		case <-finished:
+			return err
+		case <-time.After(grace):
+		}
+	}
+	// Grace expired: cancel everything still running — async jobs tracked
+	// by id and sync submissions tracked by lifecycle — then finish the
+	// drain. Killed jobs tear down through the engines' cancellation paths,
+	// so the wait below is bounded by task unwind, not job runtime.
+	s.mu.Lock()
+	for _, st := range s.jobs {
+		st.lc.Kill(engine.ErrJobKilled)
+	}
+	for lc := range s.syncLCs {
+		lc.Kill(engine.ErrJobKilled)
+	}
+	s.mu.Unlock()
+	<-finished
+	return err
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffBase
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed: the only clean exit
+			}
+			// Transient accept failure: back off (capped) and keep
+			// serving rather than silently retiring the daemon.
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffCap {
+				backoff = acceptBackoffCap
+			}
+			continue
 		}
+		backoff = acceptBackoffBase
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -123,7 +225,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// armWrite lifts the request read deadline and bounds the response write.
+// Called once per connection, after the request is decoded (and, for sync
+// submission, after the job has run — execution time is never under the
+// wire deadline).
+func (s *Server) armWrite(conn net.Conn) {
+	if s.ioTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+		conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
+	if s.ioTimeout > 0 {
+		// Bound the request read; armWrite lifts this once the request is
+		// decoded and bounds the response write instead.
+		conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+	}
 	r := wio.NewReader(conn)
 	w := wio.NewWriter(conn)
 	op, err := r.ReadByte()
@@ -134,10 +252,12 @@ func (s *Server) handle(conn net.Conn) {
 	case opSubmitSync:
 		job, err := readJob(r)
 		if err != nil {
+			s.armWrite(conn)
 			writeErr(w, err)
 			return
 		}
-		rep, err := s.eng.Submit(job)
+		rep, err := s.runSync(job)
+		s.armWrite(conn)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -147,15 +267,18 @@ func (s *Server) handle(conn net.Conn) {
 	case opSubmitAsync:
 		job, err := readJob(r)
 		if err != nil {
+			s.armWrite(conn)
 			writeErr(w, err)
 			return
 		}
 		id := s.startAsync(job)
+		s.armWrite(conn)
 		w.WriteByte(0)
 		w.WriteString(id)
 	case opPoll:
 		id, err := r.ReadString()
 		if err != nil {
+			s.armWrite(conn)
 			writeErr(w, err)
 			return
 		}
@@ -167,6 +290,7 @@ func (s *Server) handle(conn net.Conn) {
 			state, errMsg, report = st.state, st.errMsg, st.report
 		}
 		s.mu.Unlock()
+		s.armWrite(conn)
 		w.WriteByte(0)
 		if st == nil {
 			w.WriteString(StateUnknown)
@@ -174,12 +298,34 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		w.WriteString(state)
 		switch state {
-		case StateFailed:
+		case StateFailed, StateKilled:
 			w.WriteString(errMsg)
 		case StateSucceeded:
 			writeReport(w, report)
 		}
+	case opKill:
+		id, err := r.ReadString()
+		if err != nil {
+			s.armWrite(conn)
+			writeErr(w, err)
+			return
+		}
+		// Kill is asynchronous: flip the job's cancel source and answer with
+		// the state as of this RPC. The submission goroutine records the
+		// terminal StateKilled once the engine unwinds; clients poll for it.
+		s.mu.Lock()
+		st := s.jobs[id]
+		state := StateUnknown
+		if st != nil {
+			state = st.state
+			st.lc.Kill(engine.ErrJobKilled) // nil-safe no-op once terminal
+		}
+		s.mu.Unlock()
+		s.armWrite(conn)
+		w.WriteByte(0)
+		w.WriteString(state)
 	case opFSID:
+		s.armWrite(conn)
 		w.WriteByte(0)
 		w.WriteString(s.eng.FileSystem())
 	case opListJobs:
@@ -198,6 +344,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.mu.Unlock()
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].seq < jobs[j].seq })
+		s.armWrite(conn)
 		w.WriteByte(0)
 		w.WriteUvarint(uint64(len(jobs)))
 		for _, st := range jobs {
@@ -206,11 +353,40 @@ func (s *Server) handle(conn net.Conn) {
 			w.WriteString(st.state)
 		}
 	default:
+		s.armWrite(conn)
 		writeErr(w, fmt.Errorf("server: unknown op %d", op))
 	}
 }
 
+// submitTo runs job on eng under lc when the engine supports lifecycle
+// control; an engine without SubmitControlled runs uncontrolled (kill and
+// shutdown then cannot interrupt it, only outlast it).
+func submitTo(eng engine.Engine, job *conf.JobConf, lc *engine.JobLifecycle) (*engine.Report, error) {
+	if ls, ok := eng.(engine.LifecycleSubmitter); ok {
+		return ls.SubmitControlled(job, lc)
+	}
+	return eng.Submit(job)
+}
+
+// runSync runs a synchronous submission under a tracked lifecycle so
+// Shutdown can cancel it; sync jobs have no public id, so the kill RPC
+// cannot target them.
+func (s *Server) runSync(job *conf.JobConf) (*engine.Report, error) {
+	lc := engine.NewJobLifecycle()
+	defer lc.Stop()
+	s.mu.Lock()
+	s.syncLCs[lc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.syncLCs, lc)
+		s.mu.Unlock()
+	}()
+	return submitTo(s.eng, job, lc)
+}
+
 func (s *Server) startAsync(job *conf.JobConf) string {
+	lc := engine.NewJobLifecycle()
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("remote_job_%04d", s.seq)
@@ -219,22 +395,31 @@ func (s *Server) startAsync(job *conf.JobConf) string {
 		seq:   s.seq,
 		queue: job.GetDefault(conf.KeyJobQueueName, "default"),
 		state: StateRunning,
+		lc:    lc,
 	}
 	s.jobs[id] = st
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		rep, err := s.eng.Submit(job)
+		defer lc.Stop()
+		rep, err := submitTo(s.eng, job, lc)
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if err != nil {
-			st.state = StateFailed
-			st.errMsg = err.Error()
-		} else {
+		switch {
+		case err == nil:
 			st.state = StateSucceeded
 			st.report = rep
+		case errors.Is(err, engine.ErrJobKilled):
+			// Deliberate cancellation is its own terminal state; a deadline
+			// expiry (ErrDeadlineExceeded) stays an ordinary failure.
+			st.state = StateKilled
+			st.errMsg = err.Error()
+		default:
+			st.state = StateFailed
+			st.errMsg = err.Error()
 		}
+		st.lc = nil
 		s.retire(st)
 	}()
 	return id

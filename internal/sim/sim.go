@@ -101,27 +101,31 @@ func (c *CostModel) ChargeDisk(s *Stats, n int64) {
 
 // Stats counter names.
 const (
-	RemoteBytes       = "remote.bytes"        // bytes serialized across places
-	RemoteTransfers   = "remote.transfers"    // number of remote batches
-	LocalPairs        = "local.pairs"         // pairs delivered without serialization
-	DedupHits         = "dedup.hits"          // objects elided by the dedup encoder
-	ClonedPairs       = "cloned.pairs"        // pairs cloned for mutation safety
-	AliasedPairs      = "aliased.pairs"       // pairs aliased thanks to ImmutableOutput
-	CacheHits         = "cache.hits"          // splits served from the KV cache
-	CacheMisses       = "cache.misses"        // splits read from the filesystem
-	CacheWrites       = "cache.writes"        // output blocks written to the cache
-	SpillBytes        = "spill.bytes"         // bytes written to map-side spill files
-	SpillFiles        = "spill.files"         // number of spill files
-	EvictedRuns       = "evicted.runs"        // resident runs re-spilled largest-first
-	ShuffleFetchBytes = "shuffle.fetch.bytes" // reduce-side segment fetch bytes
-	HDFSReadBytes     = "hdfs.read.bytes"
-	HDFSWriteBytes    = "hdfs.write.bytes"
-	TasksLaunched     = "tasks.launched"
-	ModeledDelayNs    = "modeled.delay.ns"
-	JVMStartNs        = "modeled.jvmstart.ns"
-	HeartbeatNs       = "modeled.heartbeat.ns"
-	NetDelayNs        = "modeled.net.ns"
-	DiskDelayNs       = "modeled.disk.ns"
+	RemoteBytes          = "remote.bytes"        // bytes serialized across places
+	RemoteTransfers      = "remote.transfers"    // number of remote batches
+	LocalPairs           = "local.pairs"         // pairs delivered without serialization
+	DedupHits            = "dedup.hits"          // objects elided by the dedup encoder
+	ClonedPairs          = "cloned.pairs"        // pairs cloned for mutation safety
+	AliasedPairs         = "aliased.pairs"       // pairs aliased thanks to ImmutableOutput
+	CacheHits            = "cache.hits"          // splits served from the KV cache
+	CacheMisses          = "cache.misses"        // splits read from the filesystem
+	CacheWrites          = "cache.writes"        // output blocks written to the cache
+	SpillBytes           = "spill.bytes"         // bytes written to map-side spill files
+	SpillFiles           = "spill.files"         // number of spill files
+	EvictedRuns          = "evicted.runs"        // resident runs re-spilled largest-first
+	ShuffleFetchBytes    = "shuffle.fetch.bytes" // reduce-side segment fetch bytes
+	HDFSReadBytes        = "hdfs.read.bytes"
+	HDFSWriteBytes       = "hdfs.write.bytes"
+	TasksLaunched        = "tasks.launched"
+	JobsKilled           = "jobs.killed"            // jobs cancelled by an explicit kill
+	JobsDeadlineExceeded = "jobs.deadline.exceeded" // jobs cancelled by their deadline watchdog
+	TaskRetries          = "task.retries"           // Hadoop-engine task attempts re-executed
+	FailoverJobs         = "failover.jobs"          // M3R jobs resubmitted to the fallback engine
+	ModeledDelayNs       = "modeled.delay.ns"
+	JVMStartNs           = "modeled.jvmstart.ns"
+	HeartbeatNs          = "modeled.heartbeat.ns"
+	NetDelayNs           = "modeled.net.ns"
+	DiskDelayNs          = "modeled.disk.ns"
 )
 
 // Stats is a concurrent named-counter sink.

@@ -324,7 +324,7 @@ func TestEncodedLenMatchesBytesOnDisk(t *testing.T) {
 		nil,
 		{{K: nil, V: nil}},
 		{{K: []byte("k"), V: nil}, {K: nil, V: []byte("v")}},
-		{{K: blob(127), V: blob(128)}},  // 1- vs 2-byte varint boundary
+		{{K: blob(127), V: blob(128)}}, // 1- vs 2-byte varint boundary
 		{{K: blob(300), V: blob(20000)}},
 		{{K: blob(1), V: blob(1)}, {K: blob(5000), V: blob(3)}, {K: nil, V: blob(129)}},
 	}

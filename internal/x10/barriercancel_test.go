@@ -1,0 +1,76 @@
+package x10_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"m3r/internal/x10"
+)
+
+// TestBarrierCancelCompletes: with no cancellation, BarrierCancel behaves
+// exactly like Barrier — all members arrive and are released with nil.
+func TestBarrierCancelCompletes(t *testing.T) {
+	const n = 4
+	team := x10.NewTeam(n)
+	done := make(chan struct{}) // never closed
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = team.BarrierCancel(done, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+}
+
+// TestBarrierCancelReleasesWaiters: members blocked at the barrier while
+// one member never arrives must all return the cancel cause when done
+// closes — the shuffle-barrier kill path.
+func TestBarrierCancelReleasesWaiters(t *testing.T) {
+	const n = 4
+	team := x10.NewTeam(n)
+	cause := errors.New("job killed")
+	done := make(chan struct{})
+	errCh := make(chan error, n-1)
+	for i := 0; i < n-1; i++ { // the n-th member never arrives
+		go func() {
+			errCh <- team.BarrierCancel(done, func() error { return cause })
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters block
+	close(done)
+	for i := 0; i < n-1; i++ {
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, cause) {
+				t.Fatalf("waiter returned %v, want the cancel cause", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled waiter never woke")
+		}
+	}
+}
+
+// TestBarrierCancelNilErrf: a nil errf (or one returning nil) still yields
+// a non-nil generic error on cancellation.
+func TestBarrierCancelNilErrf(t *testing.T) {
+	team := x10.NewTeam(2)
+	done := make(chan struct{})
+	close(done)
+	if err := team.BarrierCancel(done, nil); err == nil {
+		t.Fatal("cancelled barrier returned nil")
+	}
+	team2 := x10.NewTeam(2)
+	if err := team2.BarrierCancel(done, func() error { return nil }); err == nil {
+		t.Fatal("cancelled barrier with nil cause returned nil")
+	}
+}

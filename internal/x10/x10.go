@@ -19,6 +19,7 @@ package x10
 import (
 	"bytes"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"m3r/internal/sim"
@@ -142,7 +143,9 @@ func (fin *Finish) Async(f func() error) {
 		defer fin.wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
-				fin.report(fmt.Errorf("x10: async panicked: %v", r))
+				// Keep the stack: a UDF panic surfaced as a bare value is
+				// undiagnosable once the goroutine is gone.
+				fin.report(fmt.Errorf("x10: async panicked: %v\n%s", r, debug.Stack()))
 			}
 		}()
 		if err := f(); err != nil {
@@ -211,6 +214,37 @@ func (t *Team) Barrier() {
 	ch := t.gen
 	t.mu.Unlock()
 	<-ch
+}
+
+// BarrierCancel is Barrier with an escape hatch: if done closes while the
+// member is waiting, it stops waiting and returns done's cause via errf
+// (nil errf yields a generic error). The member's arrival is still counted
+// — all members of an M3R job share one cancel source, so once any member
+// leaves early, every member does, and the barrier generation is never
+// completed or reused; the job is tearing down.
+func (t *Team) BarrierCancel(done <-chan struct{}, errf func() error) error {
+	t.mu.Lock()
+	t.count++
+	if t.count == t.n {
+		t.count = 0
+		close(t.gen)
+		t.gen = make(chan struct{})
+		t.mu.Unlock()
+		return nil
+	}
+	ch := t.gen
+	t.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-done:
+		if errf != nil {
+			if err := errf(); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("x10: barrier cancelled")
+	}
 }
 
 // ShipResult describes one transport delivery.
