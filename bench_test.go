@@ -27,6 +27,7 @@ import (
 	"m3r/internal/sim"
 	"m3r/internal/sysml"
 	"m3r/internal/wordcount"
+	"m3r/internal/x10"
 )
 
 const benchNodes = 4
@@ -156,6 +157,48 @@ func BenchmarkFig8_WordCount(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(c.Stats.Get(sim.ClonedPairs))/float64(b.N), "clonedPairs/op")
+		})
+	}
+}
+
+// BenchmarkTransportWordCount compares the place transport backends
+// end-to-end: the same M3R WordCount, inproc (frames loop back through
+// memory) vs tcp-loopback (every cross-place shuffle frame round-trips
+// through the destination place's frame server over a real 127.0.0.1
+// socket). Outputs are byte-identical; only the wire differs.
+func BenchmarkTransportWordCount(b *testing.B) {
+	for _, backend := range []string{"inproc", "tcp-loopback"} {
+		b.Run(backend, func(b *testing.B) {
+			var tr x10.Transport
+			if backend == "tcp-loopback" {
+				addrs := make([]string, benchNodes)
+				for p := 0; p < benchNodes; p++ {
+					fs, err := x10.ServeFrames("127.0.0.1:0", p, x10.FrameServerOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer fs.Close()
+					addrs[p] = fs.Addr()
+				}
+				tr = x10.NewTCPTransport(addrs, x10.TCPOptions{})
+			}
+			c, err := lab.New(lab.Options{Nodes: benchNodes, Dir: b.TempDir(), Transport: tr})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			if err := wordcount.Generate(c.FS, "/data/t", 1<<20, 42); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job := wordcount.NewJob("/data/t", fmt.Sprintf("/out/%d", i), benchNodes, true)
+				if _, err := c.M3R.Submit(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.Stats.Get(sim.NetFrames))/float64(b.N), "netFrames/op")
+			b.ReportMetric(float64(c.Stats.Get(sim.NetBytes))/float64(b.N), "netBytes/op")
 		})
 	}
 }

@@ -72,6 +72,14 @@ const (
 	RemoteShufflePairs  = "REMOTE_SHUFFLE_PAIRS"
 	RemoteShuffleBytes  = "REMOTE_SHUFFLE_BYTES"
 	ParallelMergeStages = "PARALLEL_MERGE_STAGES"
+	// NET_FRAMES / NET_BYTES count shuffle frames (and their payload bytes)
+	// that left the process over a remote place transport; they stay absent
+	// on the default inproc backend. NET_REDIALS counts transport
+	// connections re-established after an I/O error.
+	NetFrames  = "NET_FRAMES"
+	NetBytes   = "NET_BYTES"
+	NetRedials = "NET_REDIALS"
+
 	ClonedPairs         = "CLONED_PAIRS"
 	AliasedPairs        = "ALIASED_PAIRS"
 	DedupHits           = "DEDUP_HITS"

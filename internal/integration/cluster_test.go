@@ -16,6 +16,7 @@ import (
 	"m3r/internal/hadoop"
 	"m3r/internal/m3r"
 	"m3r/internal/sim"
+	"m3r/internal/x10"
 )
 
 // cluster bundles a simulated HDFS with both engines over the same nodes.
@@ -48,7 +49,27 @@ func newClusterFallback(t *testing.T, nodes int) *cluster {
 	return newClusterOpts(t, nodes, 0, true)
 }
 
+// newClusterTransport is newCluster with an explicit place transport on
+// the M3R engine (m3r.Options.Transport) — the TCP-loopback equivalence
+// tests route shuffle frames through worker processes with it.
+func newClusterTransport(t *testing.T, nodes int, tr x10.Transport) *cluster {
+	t.Helper()
+	return newClusterCfg(t, nodes, clusterConfig{transport: tr})
+}
+
 func newClusterOpts(t *testing.T, nodes int, poolBytes int64, fallback bool) *cluster {
+	t.Helper()
+	return newClusterCfg(t, nodes, clusterConfig{poolBytes: poolBytes, fallback: fallback})
+}
+
+// clusterConfig is the full knob set behind the newCluster* helpers.
+type clusterConfig struct {
+	poolBytes int64
+	fallback  bool
+	transport x10.Transport
+}
+
+func newClusterCfg(t *testing.T, nodes int, cc clusterConfig) *cluster {
 	t.Helper()
 	stats := sim.NewStats()
 	cost := sim.Zero()
@@ -82,11 +103,12 @@ func newClusterOpts(t *testing.T, nodes int, poolBytes int64, fallback bool) *cl
 		Backing:            fs,
 		Places:             nodes,
 		WorkersPerPlace:    2,
-		ShuffleBudgetBytes: poolBytes,
+		ShuffleBudgetBytes: cc.poolBytes,
+		Transport:          cc.transport,
 		Stats:              stats,
 		Cost:               cost,
 	}
-	if fallback {
+	if cc.fallback {
 		mopts.Fallback = he
 	}
 	me, err := m3r.New(mopts)

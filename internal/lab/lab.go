@@ -13,6 +13,7 @@ import (
 	"m3r/internal/hadoop"
 	"m3r/internal/m3r"
 	"m3r/internal/sim"
+	"m3r/internal/x10"
 )
 
 // Options configures a lab cluster.
@@ -30,6 +31,9 @@ type Options struct {
 	// job of its sequence; 0 inherits the M3R_ENGINE_SHUFFLE_BUDGET_BYTES
 	// environment default, negative forces no pool.
 	ShuffleBudgetBytes int64
+	// Transport moves the M3R engine's cross-place shuffle frames; nil
+	// means the in-process loopback backend. The engine takes ownership.
+	Transport x10.Transport
 	// Cost is the modelled cost model; nil means sim.Default() (with
 	// sleeps, for wall-clock experiments). Use sim.Zero() in tests.
 	Cost *sim.CostModel
@@ -116,6 +120,7 @@ func New(opts Options) (*Cluster, error) {
 		WorkersPerPlace:    opts.WorkersPerPlace,
 		Fallback:           he,
 		ShuffleBudgetBytes: opts.ShuffleBudgetBytes,
+		Transport:          opts.Transport,
 		Stats:              stats,
 		Cost:               cost,
 	})

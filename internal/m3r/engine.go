@@ -45,6 +45,10 @@ type Options struct {
 	// environment default; negative forces no pool even when the
 	// environment sets one.
 	ShuffleBudgetBytes int64
+	// Transport moves cross-place shuffle frames; nil means the in-process
+	// loopback backend. The engine's runtime takes ownership: Close closes
+	// it.
+	Transport x10.Transport
 	// Stats and Cost may be nil.
 	Stats *sim.Stats
 	Cost  *sim.CostModel
@@ -89,6 +93,7 @@ func New(opts Options) (*Engine, error) {
 	rt := x10.NewRuntime(x10.Options{
 		Places:          opts.Places,
 		WorkersPerPlace: opts.WorkersPerPlace,
+		Transport:       opts.Transport,
 		Stats:           opts.Stats,
 		Cost:            cost,
 	})
@@ -177,6 +182,7 @@ func (e *Engine) Close() error {
 	if !e.closed {
 		e.closed = true
 		dfs.DropInstance(e.fsID)
+		return e.rt.Close()
 	}
 	return nil
 }

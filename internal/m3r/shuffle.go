@@ -253,13 +253,23 @@ func (sc *shuffleCollector) shipRemote(d int, de *destEncoder) error {
 	if err := de.enc.Close(); err != nil {
 		return err
 	}
-	payload := de.buf.Bytes()
+	// The wire in between: the runtime's transport carries the frame to
+	// place d (a memory loopback on inproc; a round trip through d's worker
+	// process on tcp) and returns the bytes as delivered there.
+	payload, err := e.rt.ShipFrame(sc.place, d, de.buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("m3r: shuffle ship to place %d: %w", d, err)
+	}
 	n := int64(len(payload))
 	e.stats.Add(sim.RemoteBytes, n)
 	e.stats.Add(sim.RemoteTransfers, 1)
 	e.stats.Add(sim.DedupHits, int64(de.enc.DedupHits()))
 	sc.ctx.IncrCounter(counters.TaskGroup, counters.RemoteShuffleBytes, n)
 	sc.ctx.IncrCounter(counters.M3RGroup, counters.DedupHits, int64(de.enc.DedupHits()))
+	if e.rt.RemoteTransport() {
+		sc.ctx.IncrCounter(counters.M3RGroup, counters.NetFrames, 1)
+		sc.ctx.IncrCounter(counters.M3RGroup, counters.NetBytes, n)
+	}
 	e.cost.ChargeNet(e.stats, n)
 
 	// "Arrive" at place d: decode into fresh objects.

@@ -1,0 +1,246 @@
+// Coordinator / worker registration for multi-process places.
+//
+// A coordinator owns the place set of a TCP-backed runtime: worker
+// processes (`m3rrun worker -coordinator addr`) dial it, advertise the
+// address their frame server listens on, and are assigned place ids in
+// registration order. The registration connection then stays open as the
+// liveness and shutdown channel — when the coordinator closes it, the
+// worker tears down its frame server and exits, so killing the coordinator
+// process reaps the whole place set.
+//
+// The wire protocol follows the jobtracker protocol's conventions
+// (wio-framed, one op byte, status-byte responses):
+//
+//	register request:  op byte (coordOpRegister), string frameAddr
+//	register response: status byte 0, uvarint place | status byte 1, string error
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"m3r/internal/wio"
+	"m3r/internal/x10"
+)
+
+const coordOpRegister = 1
+
+// Coordinator assigns place ids to registering workers and holds their
+// registration connections open as the shutdown signal.
+type Coordinator struct {
+	ln        net.Listener
+	places    int
+	ioTimeout time.Duration
+
+	mu    sync.Mutex
+	addrs []string // frame-serve address per assigned place id
+	conns []net.Conn
+	ready chan struct{} // closed once every place is assigned
+	wg    sync.WaitGroup
+}
+
+// ServeCoordinator starts a coordinator for a place set of the given size
+// on addr (e.g. "127.0.0.1:0").
+func ServeCoordinator(addr string, places int) (*Coordinator, error) {
+	if places <= 0 {
+		return nil, fmt.Errorf("server: coordinator needs places > 0, got %d", places)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		ln:        ln,
+		places:    places,
+		ioTimeout: DefaultIOTimeout,
+		ready:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listening address, for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	backoff := acceptBackoffBase
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffCap {
+				backoff = acceptBackoffCap
+			}
+			continue
+		}
+		backoff = acceptBackoffBase
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.register(conn)
+		}()
+	}
+}
+
+// register runs one worker's registration exchange. On success the
+// connection is retained open (the worker's shutdown channel); every
+// failure path closes it.
+func (c *Coordinator) register(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(c.ioTimeout))
+	r := wio.NewReader(conn)
+	w := wio.NewWriter(conn)
+	op, err := r.ReadByte()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if op != coordOpRegister {
+		w.WriteByte(1)
+		w.WriteString(fmt.Sprintf("server: unknown coordinator op %d", op))
+		conn.Close()
+		return
+	}
+	frameAddr, err := r.ReadString()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if len(c.addrs) >= c.places {
+		c.mu.Unlock()
+		w.WriteByte(1)
+		w.WriteString(fmt.Sprintf("server: all %d places already assigned", c.places))
+		conn.Close()
+		return
+	}
+	place := len(c.addrs)
+	c.addrs = append(c.addrs, frameAddr)
+	c.conns = append(c.conns, conn)
+	full := len(c.addrs) == c.places
+	c.mu.Unlock()
+	if err := w.WriteByte(0); err == nil {
+		err = w.WriteUvarint(uint64(place))
+	}
+	if err != nil {
+		// The worker never learned its place: forget the slot so another
+		// registration can take it.
+		c.mu.Lock()
+		c.addrs = c.addrs[:place]
+		c.conns = c.conns[:place]
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	// Registration done: lift the deadline — the connection now idles as the
+	// worker's liveness/shutdown channel until Close.
+	conn.SetDeadline(time.Time{})
+	if full {
+		close(c.ready)
+	}
+}
+
+// WaitReady blocks until every place has a registered worker (or timeout)
+// and returns the frame-serve addresses, index-aligned with place ids.
+func (c *Coordinator) WaitReady(timeout time.Duration) ([]string, error) {
+	select {
+	case <-c.ready:
+	case <-time.After(timeout):
+		c.mu.Lock()
+		n := len(c.addrs)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server: %d of %d workers registered within %v", n, c.places, timeout)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...), nil
+}
+
+// Transport builds the TCP place transport over the registered workers.
+// Call after WaitReady succeeds.
+func (c *Coordinator) Transport(opts x10.TCPOptions) *x10.TCPTransport {
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	c.mu.Unlock()
+	return x10.NewTCPTransport(addrs, opts)
+}
+
+// Close stops accepting registrations and drops every worker's registration
+// connection — the signal on which workers tear down and exit.
+func (c *Coordinator) Close() error {
+	err := c.ln.Close()
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// RunWorker is the worker-process main loop: listen for frames, register
+// with the coordinator at coordAddr, serve the assigned place's frames
+// until the coordinator goes away, then tear down. It returns nil on a
+// clean coordinator-initiated shutdown.
+func RunWorker(coordAddr string) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("server: worker listen: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, dialTimeout)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("server: worker dialing coordinator %s: %w", coordAddr, err)
+	}
+	conn.SetDeadline(time.Now().Add(DefaultIOTimeout))
+	w := wio.NewWriter(conn)
+	r := wio.NewReader(conn)
+	if err := w.WriteByte(coordOpRegister); err == nil {
+		err = w.WriteString(ln.Addr().String())
+	}
+	if err != nil {
+		conn.Close()
+		ln.Close()
+		return fmt.Errorf("server: worker registering: %w", err)
+	}
+	status, err := r.ReadByte()
+	if err != nil {
+		conn.Close()
+		ln.Close()
+		return fmt.Errorf("server: worker registering: %w", err)
+	}
+	if status != 0 {
+		msg, merr := r.ReadString()
+		conn.Close()
+		ln.Close()
+		if merr != nil {
+			return fmt.Errorf("server: worker registration rejected: %w", merr)
+		}
+		return fmt.Errorf("server: worker registration rejected: %s", msg)
+	}
+	place, err := r.ReadUvarint()
+	if err != nil {
+		conn.Close()
+		ln.Close()
+		return fmt.Errorf("server: worker registering: %w", err)
+	}
+	fs := x10.ServeFramesListener(ln, int(place), x10.FrameServerOptions{})
+	defer fs.Close()
+	defer conn.Close()
+	// Block on the registration connection: it carries no further traffic,
+	// so the read returns only when the coordinator closes it (shutdown) or
+	// the link dies. Either way this worker is done.
+	conn.SetDeadline(time.Time{})
+	var one [1]byte
+	conn.Read(one[:]) // EOF (coordinator closed) or a dead link: done either way
+	return nil
+}

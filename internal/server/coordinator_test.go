@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"m3r/internal/wio"
+	"m3r/internal/x10"
+)
+
+// startWorkers runs n RunWorker loops in-process (goroutines instead of
+// subprocesses — the wire protocol is identical) and returns a channel that
+// closes when all of them have exited.
+func startWorkers(t *testing.T, coordAddr string, n int) <-chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	exited := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			if err := RunWorker(coordAddr); err != nil {
+				t.Errorf("RunWorker: %v", err)
+			}
+			exited <- struct{}{}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			<-exited
+		}
+		close(done)
+	}()
+	return done
+}
+
+func TestCoordinatorRegistersWorkersAndShips(t *testing.T) {
+	coord, err := ServeCoordinator("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workersDone := startWorkers(t, coord.Addr(), 2)
+	addrs, err := coord.WaitReady(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Fatalf("worker addrs: %v", addrs)
+	}
+	tr := coord.Transport(x10.TCPOptions{})
+	defer tr.Close()
+	for from := 0; from < 2; from++ {
+		for to := 0; to < 2; to++ {
+			got, err := tr.Ship(from, to, []byte("frame"))
+			if err != nil {
+				t.Fatalf("Ship %d->%d: %v", from, to, err)
+			}
+			if string(got) != "frame" {
+				t.Fatalf("Ship %d->%d delivered %q", from, to, got)
+			}
+		}
+	}
+	// Closing the coordinator drops the registration connections; every
+	// worker must notice and exit on its own.
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-workersDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers did not exit after coordinator close")
+	}
+}
+
+func TestCoordinatorRejectsExtraWorker(t *testing.T) {
+	coord, err := ServeCoordinator("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorkers(t, coord.Addr(), 1)
+	if _, err := coord.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A worker beyond the place set must be turned away with the protocol
+	// error, not hang or steal a place.
+	err = RunWorker(coord.Addr())
+	if err == nil || !errorContains(err, "all 1 places already assigned") {
+		t.Fatalf("extra worker: want rejection, got %v", err)
+	}
+}
+
+func TestCoordinatorWaitReadyTimesOut(t *testing.T) {
+	coord, err := ServeCoordinator("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorkers(t, coord.Addr(), 1)
+	_, err = coord.WaitReady(200 * time.Millisecond)
+	if err == nil || !errorContains(err, "of 3 workers registered") {
+		t.Fatalf("want registration timeout, got %v", err)
+	}
+}
+
+func TestCoordinatorRejectsUnknownOp(t *testing.T) {
+	coord, err := ServeCoordinator("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := wio.NewWriter(conn)
+	if err := w.WriteByte(99); err != nil {
+		t.Fatal(err)
+	}
+	r := wio.NewReader(conn)
+	status, err := r.ReadByte()
+	if err != nil || status != 1 {
+		t.Fatalf("status=%d err=%v, want error status", status, err)
+	}
+	msg, err := r.ReadString()
+	if err != nil || !errorContains(errors.New(msg), "unknown coordinator op") {
+		t.Fatalf("msg=%q err=%v", msg, err)
+	}
+}
+
+func errorContains(err error, sub string) bool {
+	return err != nil && strings.Contains(err.Error(), sub)
+}

@@ -120,6 +120,9 @@ const (
 	JobsKilled           = "jobs.killed"            // jobs cancelled by an explicit kill
 	JobsDeadlineExceeded = "jobs.deadline.exceeded" // jobs cancelled by their deadline watchdog
 	TaskRetries          = "task.retries"           // Hadoop-engine task attempts re-executed
+	NetFrames            = "net.frames"             // frames shipped over a remote place transport
+	NetBytes             = "net.bytes"              // payload bytes shipped over a remote place transport
+	NetRedials           = "net.redials"            // transport connections re-established after an I/O error
 	FailoverJobs         = "failover.jobs"          // M3R jobs resubmitted to the fallback engine
 	ModeledDelayNs       = "modeled.delay.ns"
 	JVMStartNs           = "modeled.jvmstart.ns"

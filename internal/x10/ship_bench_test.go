@@ -1,0 +1,103 @@
+package x10_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"m3r/internal/sim"
+	"m3r/internal/types"
+	"m3r/internal/wio"
+	"m3r/internal/x10"
+)
+
+// shipBenchPairs builds n pairs with valBytes-sized distinct values —
+// the shape of a shuffle frame with no dedup opportunity.
+func shipBenchPairs(n, valBytes int) []wio.Pair {
+	pairs := make([]wio.Pair, n)
+	for i := range pairs {
+		pairs[i] = wio.Pair{
+			Key:   types.NewInt(int32(i)),
+			Value: types.NewText(strings.Repeat(string(rune('a'+i%26)), valBytes)),
+		}
+	}
+	return pairs
+}
+
+// TestShipPairsEncodeBufferPooled pins the per-runtime sync.Pool on the
+// ShipPairs encode path: after warmup the steady-state allocations of a
+// remote ship are the decode side's fresh objects (a handful per pair),
+// never a regrowth of the encode buffer. Losing the pool re-pays the
+// buffer growth (multiple multi-KiB allocations) on every send, which
+// this bound catches.
+func TestShipPairsEncodeBufferPooled(t *testing.T) {
+	rt, _ := newRT(2, 2)
+	pairs := shipBenchPairs(64, 256) // ~16 KiB encoded
+	// Warm the pool so the buffer has grown to frame size.
+	for i := 0; i < 3; i++ {
+		if _, err := rt.ShipPairs(0, 1, pairs, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := rt.ShipPairs(0, 1, pairs, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Decode allocates ~4 objects per pair (key, value, value's backing
+	// bytes, slice growth amortized); the bound leaves ~2x headroom but is
+	// far below the cost of re-growing a 16 KiB encode buffer every send.
+	if max := float64(len(pairs) * 8); allocs > max {
+		t.Fatalf("ShipPairs allocs/op = %.0f, want <= %.0f (encode buffer pool lost?)", allocs, max)
+	}
+}
+
+// benchShipPairs measures cross-place ShipPairs throughput on rt.
+func benchShipPairs(b *testing.B, rt *x10.Runtime, n, valBytes int) {
+	b.Helper()
+	pairs := shipBenchPairs(n, valBytes)
+	res, err := rt.ShipPairs(0, 1, pairs, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(res.Bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.ShipPairs(0, 1, pairs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShipPairsInproc(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("pairs=%d", n), func(b *testing.B) {
+			rt := x10.NewRuntime(x10.Options{Places: 2, Stats: sim.NewStats()})
+			defer rt.Close()
+			benchShipPairs(b, rt, n, 256)
+		})
+	}
+}
+
+func BenchmarkShipPairsTCPLoopback(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		b.Run(fmt.Sprintf("pairs=%d", n), func(b *testing.B) {
+			servers := make([]*x10.FrameServer, 2)
+			addrs := make([]string, 2)
+			for p := range servers {
+				fs, err := x10.ServeFrames("127.0.0.1:0", p, x10.FrameServerOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fs.Close()
+				servers[p] = fs
+				addrs[p] = fs.Addr()
+			}
+			tr := x10.NewTCPTransport(addrs, x10.TCPOptions{})
+			rt := x10.NewRuntime(x10.Options{Places: 2, Transport: tr, Stats: sim.NewStats()})
+			defer rt.Close()
+			benchShipPairs(b, rt, n, 256)
+		})
+	}
+}

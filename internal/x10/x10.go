@@ -1,36 +1,50 @@
 // Package x10 is the runtime substrate the M3R engine runs on, substituting
 // for the X10 language runtime of the paper (§5.1). It provides
 //
-//   - places: a fixed set of simulated cluster nodes, each with a bounded
-//     pool of worker slots (the paper's "one process per host, 8 worker
-//     threads"),
+//   - places: a fixed set of cluster nodes, each with a bounded pool of
+//     worker slots (the paper's "one process per host, 8 worker threads"),
 //   - finish/async structured concurrency and Team cyclic barriers ("no
 //     reducer is allowed to run until globally all shuffle messages have
 //     been sent"),
-//   - a transport whose cross-place sends pass through real binary
-//     serialization with optional de-duplication, while same-place sends
-//     are free aliasing — the asymmetry every M3R optimization exploits.
+//   - a pluggable Transport whose cross-place sends pass through real
+//     binary serialization with optional de-duplication, while same-place
+//     sends are free aliasing — the asymmetry every M3R optimization
+//     exploits.
 //
-// Places live in one OS process here; the data isolation that matters for
-// the paper's measurements (serialize/copy when remote, alias when local)
-// is enforced by the transport rather than by address spaces.
+// The transport decides where cross-place bytes physically go. The default
+// inproc backend keeps every place in one OS process (frames loop back
+// through memory; the data isolation that matters for the paper's
+// measurements — serialize/copy when remote, alias when local — is enforced
+// by the serialization boundary rather than by address spaces). The TCP
+// backend instead routes every cross-place frame through the destination
+// place's worker process over a real socket (length-prefixed frames,
+// connection reuse per place pair), so a place set can be backed by worker
+// processes registered with a coordinator — the paper's one-process-per-host
+// deployment. Both backends are byte-identical at the payload level: the
+// same encoder output goes in, the same bytes come out at the destination.
 package x10
 
 import (
 	"bytes"
 	"fmt"
-	"runtime/debug"
 	"sync"
 
 	"m3r/internal/sim"
-	"m3r/internal/wio"
 )
 
 // Runtime is a fixed set of places plus the transport between them.
 type Runtime struct {
-	places []*Place
-	stats  *sim.Stats
-	cost   *sim.CostModel
+	places    []*Place
+	hostOf    map[string]int // host name -> place id, built once at NewRuntime
+	transport Transport
+	stats     *sim.Stats
+	cost      *sim.CostModel
+
+	// shipBufs recycles ShipPairs' encode buffers across sends: block
+	// locality, kvstore remote reads and shuffle ships all serialize through
+	// here, and a fresh bytes.Buffer per send re-pays the growth allocation
+	// every time.
+	shipBufs sync.Pool
 }
 
 // Place is one simulated cluster node.
@@ -53,6 +67,9 @@ type Options struct {
 	Places int
 	// WorkersPerPlace bounds concurrent tasks per place (default 2).
 	WorkersPerPlace int
+	// Transport moves cross-place frames; nil means the in-process loopback
+	// backend. The runtime takes ownership: Close closes it.
+	Transport Transport
 	// Stats and Cost may be nil.
 	Stats *sim.Stats
 	Cost  *sim.CostModel
@@ -72,13 +89,30 @@ func NewRuntime(opts Options) *Runtime {
 	if cost == nil {
 		cost = sim.Zero()
 	}
-	rt := &Runtime{stats: opts.Stats, cost: cost}
+	tr := opts.Transport
+	if tr == nil {
+		tr = Inproc()
+	}
+	if tt, ok := tr.(*TCPTransport); ok && tt.stats == nil {
+		// The TCP backend counts NET_* into the runtime's sink unless its
+		// builder already bound one.
+		tt.stats = opts.Stats
+	}
+	rt := &Runtime{
+		transport: tr,
+		hostOf:    make(map[string]int, n),
+		stats:     opts.Stats,
+		cost:      cost,
+	}
+	rt.shipBufs.New = func() any { return new(bytes.Buffer) }
 	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("node%d", i)
 		rt.places = append(rt.places, &Place{
 			id:      i,
-			host:    fmt.Sprintf("node%d", i),
+			host:    host,
 			workers: make(chan struct{}, w),
 		})
+		rt.hostOf[host] = i
 	}
 	return rt
 }
@@ -98,12 +132,12 @@ func (rt *Runtime) Hosts() []string {
 	return out
 }
 
-// PlaceOfHost resolves a host name to a place id, or -1.
+// PlaceOfHost resolves a host name to a place id, or -1. It runs per
+// block-locality resolution on every input split, so it is a map lookup,
+// not a scan over the place set.
 func (rt *Runtime) PlaceOfHost(host string) int {
-	for i, p := range rt.places {
-		if p.host == host {
-			return i
-		}
+	if p, ok := rt.hostOf[host]; ok {
+		return p
 	}
 	return -1
 }
@@ -114,6 +148,13 @@ func (rt *Runtime) Stats() *sim.Stats { return rt.stats }
 // Cost returns the runtime's cost model.
 func (rt *Runtime) Cost() *sim.CostModel { return rt.cost }
 
+// Transport returns the runtime's transport backend.
+func (rt *Runtime) Transport() Transport { return rt.transport }
+
+// Close releases the runtime's transport (connections to worker processes,
+// for the TCP backend; a no-op for inproc). Idempotent.
+func (rt *Runtime) Close() error { return rt.transport.Close() }
+
 // At runs f synchronously "at" place p, occupying one of p's worker slots.
 // It models X10's `at (p) S` for computation placement: the caller blocks
 // until a slot is free and f returns.
@@ -122,52 +163,6 @@ func (rt *Runtime) At(p int, f func()) {
 	place.workers <- struct{}{}
 	defer func() { <-place.workers }()
 	f()
-}
-
-// Finish is a structured-concurrency scope: every Async spawned on it is
-// awaited by Wait, and the first error (or panic, converted to an error)
-// is reported. It models X10's `finish { async S ... }`.
-type Finish struct {
-	wg    sync.WaitGroup
-	mu    sync.Mutex
-	first error
-}
-
-// NewFinish returns an empty finish scope.
-func NewFinish() *Finish { return &Finish{} }
-
-// Async runs f concurrently within the scope.
-func (fin *Finish) Async(f func() error) {
-	fin.wg.Add(1)
-	go func() {
-		defer fin.wg.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				// Keep the stack: a UDF panic surfaced as a bare value is
-				// undiagnosable once the goroutine is gone.
-				fin.report(fmt.Errorf("x10: async panicked: %v\n%s", r, debug.Stack()))
-			}
-		}()
-		if err := f(); err != nil {
-			fin.report(err)
-		}
-	}()
-}
-
-func (fin *Finish) report(err error) {
-	fin.mu.Lock()
-	if fin.first == nil {
-		fin.first = err
-	}
-	fin.mu.Unlock()
-}
-
-// Wait blocks until every Async completes and returns the first error.
-func (fin *Finish) Wait() error {
-	fin.wg.Wait()
-	fin.mu.Lock()
-	defer fin.mu.Unlock()
-	return fin.first
 }
 
 // EveryPlace runs f(p) concurrently at every place (one worker slot each)
@@ -183,121 +178,4 @@ func (rt *Runtime) EveryPlace(f func(p int) error) error {
 		})
 	}
 	return fin.Wait()
-}
-
-// Team is a cyclic barrier over n members, modelling X10's Team API. The
-// M3R engine uses it to separate the shuffle and reduce phases.
-type Team struct {
-	n     int
-	mu    sync.Mutex
-	count int
-	gen   chan struct{}
-}
-
-// NewTeam returns a barrier for n members.
-func NewTeam(n int) *Team {
-	return &Team{n: n, gen: make(chan struct{})}
-}
-
-// Barrier blocks until all n members have called it, then releases them
-// all. The barrier is reusable.
-func (t *Team) Barrier() {
-	t.mu.Lock()
-	t.count++
-	if t.count == t.n {
-		t.count = 0
-		close(t.gen)
-		t.gen = make(chan struct{})
-		t.mu.Unlock()
-		return
-	}
-	ch := t.gen
-	t.mu.Unlock()
-	<-ch
-}
-
-// BarrierCancel is Barrier with an escape hatch: if done closes while the
-// member is waiting, it stops waiting and returns done's cause via errf
-// (nil errf yields a generic error). The member's arrival is still counted
-// — all members of an M3R job share one cancel source, so once any member
-// leaves early, every member does, and the barrier generation is never
-// completed or reused; the job is tearing down.
-func (t *Team) BarrierCancel(done <-chan struct{}, errf func() error) error {
-	t.mu.Lock()
-	t.count++
-	if t.count == t.n {
-		t.count = 0
-		close(t.gen)
-		t.gen = make(chan struct{})
-		t.mu.Unlock()
-		return nil
-	}
-	ch := t.gen
-	t.mu.Unlock()
-	select {
-	case <-ch:
-		return nil
-	case <-done:
-		if errf != nil {
-			if err := errf(); err != nil {
-				return err
-			}
-		}
-		return fmt.Errorf("x10: barrier cancelled")
-	}
-}
-
-// ShipResult describes one transport delivery.
-type ShipResult struct {
-	// Pairs are the delivered pairs; for local sends they alias the input.
-	Pairs []wio.Pair
-	// Bytes is the serialized size (0 for local sends).
-	Bytes int64
-	// DedupHits counts objects elided by the de-duplicating encoder.
-	DedupHits uint64
-	// Remote reports whether serialization happened.
-	Remote bool
-}
-
-// ShipPairs moves pairs from place `from` to place `to`.
-//
-// Same-place sends return the input slice unchanged: no serialization, no
-// copying, no cost — this is the co-location benefit of §3.2.2.1. (Whether
-// the pairs are safe to alias is the engine's concern via ImmutableOutput.)
-//
-// Cross-place sends serialize every pair with a de-duplicating encoder
-// (when dedup is true), charge the modelled network, and decode into fresh
-// objects on the far side. Repeated objects — the broadcast vector blocks
-// of §3.2.2.3 — are transmitted once and arrive as aliases.
-func (rt *Runtime) ShipPairs(from, to int, pairs []wio.Pair, dedup bool) (ShipResult, error) {
-	if from == to {
-		rt.stats.Add(sim.LocalPairs, int64(len(pairs)))
-		return ShipResult{Pairs: pairs}, nil
-	}
-	var buf bytes.Buffer
-	enc := wio.NewEncoder(&buf, dedup)
-	for _, p := range pairs {
-		if err := enc.EncodePair(p); err != nil {
-			return ShipResult{}, fmt.Errorf("x10: serializing for place %d: %w", to, err)
-		}
-	}
-	if err := enc.Close(); err != nil {
-		return ShipResult{}, err
-	}
-	n := int64(buf.Len())
-	rt.stats.Add(sim.RemoteBytes, n)
-	rt.stats.Add(sim.RemoteTransfers, 1)
-	rt.stats.Add(sim.DedupHits, int64(enc.DedupHits()))
-	rt.cost.ChargeNet(rt.stats, n)
-
-	dec := wio.NewDecoder(&buf)
-	out := make([]wio.Pair, 0, len(pairs))
-	for i := 0; i < len(pairs); i++ {
-		p, err := dec.DecodePair()
-		if err != nil {
-			return ShipResult{}, fmt.Errorf("x10: deserializing at place %d: %w", to, err)
-		}
-		out = append(out, p)
-	}
-	return ShipResult{Pairs: out, Bytes: n, DedupHits: enc.DedupHits(), Remote: true}, nil
 }
