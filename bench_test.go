@@ -268,6 +268,65 @@ func BenchmarkSpillQueueWordCount(b *testing.B) {
 	}
 }
 
+// BenchmarkSpillCodecWordCount compares the spill block codecs on the same
+// tight-budget WordCount the queue bench uses: the flate leg trades mapper
+// CPU for disk bytes, and the spillKB/rawKB metrics report the stored vs
+// record-format spill volume (SPILLED_BYTES vs SPILLED_RAW_BYTES) so the
+// compression ratio on repetitive text keys lands in the bench output.
+func BenchmarkSpillCodecWordCount(b *testing.B) {
+	for _, codec := range []string{"none", "flate"} {
+		b.Run(codec, func(b *testing.B) {
+			c := newBenchCluster(b)
+			if err := wordcount.Generate(c.FS, "/data/t", 1<<20, 42); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job := wordcount.NewJob("/data/t", fmt.Sprintf("/out/%d", i), benchNodes, true)
+				job.SetInt64(conf.KeyM3RShuffleBudget, 16<<10)
+				job.SetInt(conf.KeyM3RSpillQueue, 8)
+				job.Set(conf.KeyM3RSpillCodec, codec)
+				if _, err := c.M3R.Submit(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.Stats.Get(sim.SpillBytes))/float64(b.N)/1024, "spillKB/op")
+			b.ReportMetric(float64(c.Stats.Get(sim.SpillRawBytes))/float64(b.N)/1024, "rawKB/op")
+		})
+	}
+}
+
+// BenchmarkSpillCodecRepartition: the codec comparison on the repartition
+// microbench, whose values are pseudo-random 1 KiB blobs — the adversarial
+// case for flate, pinning the cost of the codec when there is nothing to
+// compress (per-block stored fallback keeps the overhead to block headers).
+func BenchmarkSpillCodecRepartition(b *testing.B) {
+	for _, codec := range []string{"none", "flate"} {
+		b.Run(codec, func(b *testing.B) {
+			c := newBenchCluster(b)
+			cfg := microbench.Config{
+				Pairs: 500, ValueBytes: 1024, Percent: 0,
+				Iterations: 1, Partitions: benchNodes, Dir: "/mb", Seed: 1,
+			}
+			if err := microbench.GenerateUnaligned(c.FS, cfg, "/mb/foreign"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job := cfg.RepartitionJob("/mb/foreign", fmt.Sprintf("/mb/aligned%d", i))
+				job.SetInt64(conf.KeyM3RShuffleBudget, 16<<10)
+				job.SetInt(conf.KeyM3RSpillQueue, 8)
+				job.Set(conf.KeyM3RSpillCodec, codec)
+				if _, err := c.M3R.Submit(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.Stats.Get(sim.SpillBytes))/float64(b.N)/1024, "spillKB/op")
+			b.ReportMetric(float64(c.Stats.Get(sim.SpillRawBytes))/float64(b.N)/1024, "rawKB/op")
+		})
+	}
+}
+
 // benchSysml runs one SystemML-style algorithm per op.
 func benchSysml(b *testing.B, eng string, run func(d *sysml.Driver, dir string) error) {
 	c := newBenchCluster(b)

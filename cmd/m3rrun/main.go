@@ -59,6 +59,7 @@ var (
 	budget     = flag.Int64("shuffle-budget", 0, "per-job, per-place shuffle budget in bytes (0 = unlimited; with -engine-shuffle-budget, the job's cap within the pool)")
 	spillQueue = flag.Int("spill-queue", 0, "async spill queue depth per place (0 = synchronous spills)")
 	readmit    = flag.Bool("readmit", false, "readmit spilled runs to memory when released budget makes room")
+	spillCodec = flag.String("spill-codec", "", "spill block compression codec: none or flate (default M3R_SPILL_CODEC env, else none)")
 	// The engine pool is engine-lifetime state (m3r.engine.shuffle.budget.bytes),
 	// so it configures the cluster, not a job: all jobs of the sequence —
 	// including concurrent server-mode submissions — contend for this one
@@ -180,6 +181,8 @@ func main() {
 			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyM3RSpillQueue, *spillQueue))
 		case "readmit":
 			confProps = append(confProps, fmt.Sprintf("%s=%t", conf.KeyM3RReadmit, *readmit))
+		case "spill-codec":
+			confProps = append(confProps, fmt.Sprintf("%s=%s", conf.KeyM3RSpillCodec, *spillCodec))
 		case "deadline":
 			confProps = append(confProps, fmt.Sprintf("%s=%d", conf.KeyJobDeadlineMS, deadline.Milliseconds()))
 		case "max-attempts":

@@ -89,6 +89,16 @@ const (
 	// runs, trading a second disk read for stream-decode during the merge.
 	// Default false. Output is byte-identical either way.
 	KeyM3RReadmit = "m3r.shuffle.readmit"
+	// KeyM3RSpillCodec selects the block compression codec for spilled
+	// runs and map-side sort spills in both engines: "none" (the default;
+	// the raw layout, byte-identical to prior releases) or "flate"
+	// (records grouped into ~64 KiB blocks, each DEFLATE-compressed
+	// behind a self-describing header; see internal/spill). The reader
+	// sniffs the layout per segment, so the knob only affects writers —
+	// reducer input and job output are byte-identical at every setting.
+	// The M3R engine honours the M3R_SPILL_CODEC environment default when
+	// the job leaves the key unset; so does the Hadoop engine.
+	KeyM3RSpillCodec = "m3r.shuffle.compress.codec"
 	// KeyMergeParallelism enables the staged parallel reduce-side merge in
 	// both engines: when a partition has at least KeyMergeMinRuns runs, the
 	// run set splits into up to this many contiguous subsets, each merged

@@ -45,7 +45,13 @@ const (
 	CacheHitSplits  = "CACHE_HIT_SPLITS"
 	CacheMissSplits = "CACHE_MISS_SPLITS"
 	SpilledRuns     = "SPILLED_RUNS"
+	// SpilledBytes counts the bytes spilled runs actually occupy on disk —
+	// compressed bytes when a spill codec (m3r.shuffle.compress.codec) is
+	// configured. SpilledRawBytes counts what the same runs occupy in the
+	// raw record format, so SPILLED_BYTES / SPILLED_RAW_BYTES is the
+	// observable compression ratio (equal when the codec is none).
 	SpilledBytes    = "SPILLED_BYTES"
+	SpilledRawBytes = "SPILLED_RAW_BYTES"
 	// SpillQueueDepth is the high-water mark of the async spill queue
 	// (m3r.shuffle.spill.queue) across the job's places: how far map flush
 	// ran ahead of the spill worker's disk writes.
@@ -80,10 +86,10 @@ const (
 	NetBytes   = "NET_BYTES"
 	NetRedials = "NET_REDIALS"
 
-	ClonedPairs         = "CLONED_PAIRS"
-	AliasedPairs        = "ALIASED_PAIRS"
-	DedupHits           = "DEDUP_HITS"
-	TempOutputsElided   = "TEMP_OUTPUTS_ELIDED"
+	ClonedPairs       = "CLONED_PAIRS"
+	AliasedPairs      = "ALIASED_PAIRS"
+	DedupHits         = "DEDUP_HITS"
+	TempOutputsElided = "TEMP_OUTPUTS_ELIDED"
 
 	// Job-lifecycle counters. Killed and deadline-expired jobs produce no
 	// report, so JOBS_KILLED / JOBS_DEADLINE_EXCEEDED appear only in

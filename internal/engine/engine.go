@@ -106,6 +106,7 @@ type CounterCells struct {
 	SpilledRecords      *counters.Counter
 	SpilledRuns         *counters.Counter
 	SpilledBytes        *counters.Counter
+	SpilledRawBytes     *counters.Counter
 	BudgetReleasedBytes *counters.Counter
 	ReadmittedRuns      *counters.Counter
 	PoolContendedBytes  *counters.Counter
@@ -129,6 +130,7 @@ func resolveCells(cs *counters.Counters) CounterCells {
 		SpilledRecords:      cs.Find(counters.TaskGroup, counters.SpilledRecords),
 		SpilledRuns:         cs.Find(counters.M3RGroup, counters.SpilledRuns),
 		SpilledBytes:        cs.Find(counters.M3RGroup, counters.SpilledBytes),
+		SpilledRawBytes:     cs.Find(counters.M3RGroup, counters.SpilledRawBytes),
 		BudgetReleasedBytes: cs.Find(counters.M3RGroup, counters.BudgetReleasedBytes),
 		ReadmittedRuns:      cs.Find(counters.M3RGroup, counters.ReadmittedRuns),
 		PoolContendedBytes:  cs.Find(counters.M3RGroup, counters.PoolContendedBytes),

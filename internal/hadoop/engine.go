@@ -187,6 +187,11 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 		}
 	}
 
+	spillCodec, err := resolveSpillCodec(job)
+	if err != nil {
+		return nil, err
+	}
+
 	jobDir := filepath.Join(e.localRoot, jobID)
 	if err := os.MkdirAll(jobDir, 0o755); err != nil {
 		return nil, err
@@ -195,14 +200,15 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 
 	jc := counters.New()
 	run := &jobRun{
-		engine:    e,
-		jobID:     jobID,
-		job:       job,
-		rj:        rj,
-		lc:        lc,
-		committer: committer,
-		jobDir:    jobDir,
-		counters:  jc,
+		engine:     e,
+		jobID:      jobID,
+		job:        job,
+		rj:         rj,
+		lc:         lc,
+		committer:  committer,
+		jobDir:     jobDir,
+		counters:   jc,
+		spillCodec: spillCodec,
 	}
 
 	err = run.runMapPhase(splits)
@@ -263,9 +269,26 @@ type jobRun struct {
 	committer *formats.FileOutputCommitter
 	jobDir    string
 	counters  *counters.Counters
+	// spillCodec is the block compression for map-side sort spills and the
+	// merged map output file (conf.KeyM3RSpillCodec; reducers sniff the
+	// format per fetched segment, so only writers consult it).
+	spillCodec spill.Codec
 
 	mu         sync.Mutex
 	mapOutputs []*mapOutput // indexed by map task
+}
+
+// resolveSpillCodec resolves the spill compression codec: the job's key
+// wins, then the M3R_SPILL_CODEC environment default (how the CI
+// compressed-spill leg turns it on suite-wide), then none.
+func resolveSpillCodec(job *conf.JobConf) (spill.Codec, error) {
+	name := ""
+	if job.Has(conf.KeyM3RSpillCodec) {
+		name = job.GetDefault(conf.KeyM3RSpillCodec, "")
+	} else {
+		name = os.Getenv("M3R_SPILL_CODEC")
+	}
+	return spill.ParseCodec(name)
 }
 
 // maxAttempts resolves a task-attempt bound: the job's key wins, then the

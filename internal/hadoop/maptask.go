@@ -201,7 +201,7 @@ func (b *sortBuffer) spill() error {
 	}
 	w := bufio.NewWriter(f)
 	var segments []spill.Segment
-	var off int64
+	var off, rawTotal int64
 	var spilled int64
 	for p := range b.parts {
 		recs := b.parts[p]
@@ -210,18 +210,24 @@ func (b *sortBuffer) spill() error {
 			f.Close()
 			return err
 		}
-		var segLen int64
+		// One SegmentWriter per partition: each segment carries its own
+		// header, so a reducer's byte-range fetch stays self-describing.
+		sw := spill.NewSegmentWriter(w, b.run.spillCodec)
 		for _, r := range recs {
-			n, err := spill.WriteRec(w, r)
-			if err != nil {
+			if err := sw.Write(r); err != nil {
 				f.Close()
 				return err
 			}
-			segLen += n
+		}
+		segLen, segRaw, err := sw.Finish()
+		if err != nil {
+			f.Close()
+			return err
 		}
 		spilled += int64(len(recs))
 		segments = append(segments, spill.Segment{Off: off, Len: segLen})
 		off += segLen
+		rawTotal += segRaw
 		b.parts[p] = nil
 	}
 	if err := w.Flush(); err != nil {
@@ -236,6 +242,7 @@ func (b *sortBuffer) spill() error {
 	b.ctx.Cells.SpilledRecords.Increment(spilled)
 	stats := b.run.engine.stats
 	stats.Add(sim.SpillBytes, off)
+	stats.Add(sim.SpillRawBytes, rawTotal)
 	stats.Add(sim.SpillFiles, 1)
 	b.run.engine.cost.ChargeDisk(stats, off)
 	return nil
@@ -319,7 +326,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 	w := bufio.NewWriter(f)
 	numParts := len(b.parts)
 	segments := make([]spill.Segment, numParts)
-	var off int64
+	var off, rawTotal int64
 	for p := 0; p < numParts; p++ {
 		var streams []*spill.Stream
 		for _, sp := range b.spills {
@@ -336,7 +343,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 			f.Close()
 			return nil, err
 		}
-		var segLen int64
+		sw := spill.NewSegmentWriter(w, b.run.spillCodec)
 		for {
 			r, ok, err := m.Next()
 			if err != nil {
@@ -347,17 +354,21 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 			if !ok {
 				break
 			}
-			n, err := spill.WriteRec(w, r)
-			if err != nil {
+			if err := sw.Write(r); err != nil {
 				m.Close()
 				f.Close()
 				return nil, err
 			}
-			segLen += n
 		}
 		m.Close()
+		segLen, segRaw, err := sw.Finish()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
 		segments[p] = spill.Segment{Off: off, Len: segLen}
 		off += segLen
+		rawTotal += segRaw
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -368,6 +379,7 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 	}
 	stats := b.run.engine.stats
 	stats.Add(sim.SpillBytes, off)
+	stats.Add(sim.SpillRawBytes, rawTotal)
 	b.run.engine.cost.ChargeDisk(stats, 2*off) // read spills + write merged
 	for _, sp := range b.spills {
 		os.Remove(sp.path)

@@ -3,6 +3,7 @@ package integration_test
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -66,11 +67,16 @@ type lifecycleGridLeg struct {
 	budget  int64 // 0 = unlimited, 4096 = tight, 1 = everything spills
 	queue   int   // async spill queue depth; 0 = synchronous
 	readmit bool
-	par     int // staged parallel merge
+	par     int    // staged parallel merge
+	codec   string // spill block codec; "" = raw legacy layout
 }
 
 func (l lifecycleGridLeg) name() string {
-	return fmt.Sprintf("b%d_q%d_r%v_p%d", l.budget, l.queue, l.readmit, l.par)
+	n := fmt.Sprintf("b%d_q%d_r%v_p%d", l.budget, l.queue, l.readmit, l.par)
+	if l.codec != "" {
+		n += "_c" + l.codec
+	}
+	return n
 }
 
 func (l lifecycleGridLeg) apply(job *conf.JobConf) *conf.JobConf {
@@ -80,6 +86,9 @@ func (l lifecycleGridLeg) apply(job *conf.JobConf) *conf.JobConf {
 	if l.par > 0 {
 		job.SetInt(conf.KeyMergeParallelism, l.par)
 		job.SetInt(conf.KeyMergeMinRuns, 2)
+	}
+	if l.codec != "" {
+		job.Set(conf.KeyM3RSpillCodec, l.codec)
 	}
 	return job
 }
@@ -108,80 +117,104 @@ func TestShuffleLifecycleEquivalenceWordCount(t *testing.T) {
 
 	var refParts map[string][]byte // first m3r leg pins all the others
 	var zeroBudgetSpills int64     // budget=1 spills every run: deterministic
+	// Legs that leave the codec unset inherit the M3R_SPILL_CODEC env
+	// default (that inheritance is the point of the compressed-spill CI
+	// leg), so the raw-layout counter identity only holds when the
+	// environment's default really is the raw layout.
+	envCodec := os.Getenv("M3R_SPILL_CODEC")
+	rawDefault := envCodec == "" || envCodec == "none"
 	for _, budget := range []int64{0, 4 << 10, 1} {
+		// The codec only matters once runs hit disk: unbudgeted legs never
+		// spill, so the flate dimension is skipped there.
+		codecs := []string{"", "flate"}
+		if budget == 0 {
+			codecs = []string{""}
+		}
 		for _, queue := range []int{0, 2, 8} {
 			for _, readmit := range []bool{false, true} {
 				for _, par := range []int{0, 4} {
-					leg := lifecycleGridLeg{budget: budget, queue: queue, readmit: readmit, par: par}
-					out := "/out/" + leg.name()
-					rep, err := c.m3r.Submit(leg.apply(wordcount.NewJob("/data/L", out, 3, true)))
-					if err != nil {
-						t.Fatalf("%s: %v", leg.name(), err)
-					}
-
-					parts := readRawParts(t, c.fs, out)
-					if refParts == nil {
-						refParts = parts
-						lines := readTextOutput(t, c.fs, out)
-						checkCounts(t, lines, want)
-						if len(lines) != len(hadoopLines) {
-							t.Fatalf("m3r %d lines vs hadoop %d", len(lines), len(hadoopLines))
+					for _, codec := range codecs {
+						leg := lifecycleGridLeg{budget: budget, queue: queue, readmit: readmit, par: par, codec: codec}
+						out := "/out/" + leg.name()
+						rep, err := c.m3r.Submit(leg.apply(wordcount.NewJob("/data/L", out, 3, true)))
+						if err != nil {
+							t.Fatalf("%s: %v", leg.name(), err)
 						}
-						for i := range lines {
-							if lines[i] != hadoopLines[i] {
-								t.Fatalf("line %d: m3r %q vs hadoop %q", i, lines[i], hadoopLines[i])
+
+						parts := readRawParts(t, c.fs, out)
+						if refParts == nil {
+							refParts = parts
+							lines := readTextOutput(t, c.fs, out)
+							checkCounts(t, lines, want)
+							if len(lines) != len(hadoopLines) {
+								t.Fatalf("m3r %d lines vs hadoop %d", len(lines), len(hadoopLines))
+							}
+							for i := range lines {
+								if lines[i] != hadoopLines[i] {
+									t.Fatalf("line %d: m3r %q vs hadoop %q", i, lines[i], hadoopLines[i])
+								}
+							}
+						} else {
+							assertSameParts(t, leg.name(), parts, refParts)
+						}
+
+						spilledRuns := rep.Counters.Value(counters.M3RGroup, counters.SpilledRuns)
+						spilledBytes := rep.Counters.Value(counters.M3RGroup, counters.SpilledBytes)
+						spilledRaw := rep.Counters.Value(counters.M3RGroup, counters.SpilledRawBytes)
+						released := rep.Counters.Value(counters.M3RGroup, counters.BudgetReleasedBytes)
+						readmitted := rep.Counters.Value(counters.M3RGroup, counters.ReadmittedRuns)
+						// SPILLED_BYTES counts stored (post-codec) bytes and
+						// SPILLED_RAW_BYTES the record-format bytes: identical on
+						// the raw layout, and both present or both absent always.
+						if codec == "" && rawDefault && spilledRaw != spilledBytes {
+							t.Errorf("%s: raw layout stored %d bytes but raw counter says %d", leg.name(), spilledBytes, spilledRaw)
+						}
+						if (spilledBytes == 0) != (spilledRaw == 0) {
+							t.Errorf("%s: stored=%d raw=%d — counters out of step", leg.name(), spilledBytes, spilledRaw)
+						}
+						switch budget {
+						case 0:
+							// Unlimited: the lifecycle machinery must stay cold.
+							if spilledRuns != 0 || spilledBytes != 0 || released != 0 || readmitted != 0 {
+								t.Errorf("%s: unbudgeted leg touched the spill path (runs=%d bytes=%d released=%d readmitted=%d)",
+									leg.name(), spilledRuns, spilledBytes, released, readmitted)
+							}
+						case 1:
+							// Starvation budget: every encodable run spills, and
+							// nothing can reserve, release, or readmit.
+							if spilledRuns == 0 || spilledBytes == 0 {
+								t.Errorf("%s: starvation budget spilled nothing", leg.name())
+							}
+							if released != 0 || readmitted != 0 {
+								t.Errorf("%s: released=%d readmitted=%d under a 1-byte budget", leg.name(), released, readmitted)
+							}
+							// Spill accounting must not depend on the queue,
+							// readmit, or merge topology: at this budget the
+							// spill set is deterministic, so the counters are too.
+							if zeroBudgetSpills == 0 {
+								zeroBudgetSpills = spilledRuns
+							} else if spilledRuns != zeroBudgetSpills {
+								t.Errorf("%s: SpilledRuns=%d, other starvation legs saw %d", leg.name(), spilledRuns, zeroBudgetSpills)
+							}
+						default:
+							// Tight budget: whatever stayed resident must release
+							// as the reduces drain — bytes held forever would be
+							// the leak this lifecycle exists to prevent. Resident
+							// + spilled covers all encodable shuffle bytes.
+							if spilledRuns > 0 && spilledBytes == 0 {
+								t.Errorf("%s: spilled runs but no spilled bytes", leg.name())
+							}
+							if readmitted > spilledRuns {
+								t.Errorf("%s: readmitted %d of %d spilled runs", leg.name(), readmitted, spilledRuns)
+							}
+							if !leg.readmit && readmitted != 0 {
+								t.Errorf("%s: readmit off but READMITTED_RUNS=%d", leg.name(), readmitted)
 							}
 						}
-					} else {
-						assertSameParts(t, leg.name(), parts, refParts)
-					}
-
-					spilledRuns := rep.Counters.Value(counters.M3RGroup, counters.SpilledRuns)
-					spilledBytes := rep.Counters.Value(counters.M3RGroup, counters.SpilledBytes)
-					released := rep.Counters.Value(counters.M3RGroup, counters.BudgetReleasedBytes)
-					readmitted := rep.Counters.Value(counters.M3RGroup, counters.ReadmittedRuns)
-					switch budget {
-					case 0:
-						// Unlimited: the lifecycle machinery must stay cold.
-						if spilledRuns != 0 || spilledBytes != 0 || released != 0 || readmitted != 0 {
-							t.Errorf("%s: unbudgeted leg touched the spill path (runs=%d bytes=%d released=%d readmitted=%d)",
-								leg.name(), spilledRuns, spilledBytes, released, readmitted)
-						}
-					case 1:
-						// Starvation budget: every encodable run spills, and
-						// nothing can reserve, release, or readmit.
-						if spilledRuns == 0 || spilledBytes == 0 {
-							t.Errorf("%s: starvation budget spilled nothing", leg.name())
-						}
-						if released != 0 || readmitted != 0 {
-							t.Errorf("%s: released=%d readmitted=%d under a 1-byte budget", leg.name(), released, readmitted)
-						}
-						// Spill accounting must not depend on the queue,
-						// readmit, or merge topology: at this budget the
-						// spill set is deterministic, so the counters are too.
-						if zeroBudgetSpills == 0 {
-							zeroBudgetSpills = spilledRuns
-						} else if spilledRuns != zeroBudgetSpills {
-							t.Errorf("%s: SpilledRuns=%d, other starvation legs saw %d", leg.name(), spilledRuns, zeroBudgetSpills)
-						}
-					default:
-						// Tight budget: whatever stayed resident must release
-						// as the reduces drain — bytes held forever would be
-						// the leak this lifecycle exists to prevent. Resident
-						// + spilled covers all encodable shuffle bytes.
-						if spilledRuns > 0 && spilledBytes == 0 {
-							t.Errorf("%s: spilled runs but no spilled bytes", leg.name())
-						}
-						if readmitted > spilledRuns {
-							t.Errorf("%s: readmitted %d of %d spilled runs", leg.name(), readmitted, spilledRuns)
-						}
-						if !leg.readmit && readmitted != 0 {
-							t.Errorf("%s: readmit off but READMITTED_RUNS=%d", leg.name(), readmitted)
-						}
-					}
-					if leg.queue == 0 {
-						if d := rep.Counters.Value(counters.M3RGroup, counters.SpillQueueDepth); d != 0 {
-							t.Errorf("%s: SPILL_QUEUE_DEPTH=%d with no queue", leg.name(), d)
+						if leg.queue == 0 {
+							if d := rep.Counters.Value(counters.M3RGroup, counters.SpillQueueDepth); d != 0 {
+								t.Errorf("%s: SPILL_QUEUE_DEPTH=%d with no queue", leg.name(), d)
+							}
 						}
 					}
 				}
@@ -264,6 +297,8 @@ func TestShuffleLifecycleEquivalenceRepartition(t *testing.T) {
 		{budget: 1, queue: 2},
 		{budget: 4 << 10, queue: 2, readmit: true},
 		{budget: 1, queue: 8, par: 4},
+		{budget: 1, queue: 2, codec: "flate"},
+		{budget: 4 << 10, queue: 2, readmit: true, par: 4, codec: "flate"},
 	}
 	for _, leg := range legs {
 		out := "/mb/out_" + leg.name()

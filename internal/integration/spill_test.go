@@ -55,6 +55,54 @@ func TestHadoopMultiSpillMerge(t *testing.T) {
 	}
 }
 
+// TestHadoopMultiSpillMergeCompressed reruns the multi-spill workload with
+// flate spill blocks: the map-side sort spills, the spill merge, and the
+// reducers' byte-range fetches all traverse compressed segments, the stored
+// spill bytes must come in under the raw record bytes on wordcount's
+// repetitive keys, and the output must match the raw-codec run line for
+// line.
+func TestHadoopMultiSpillMergeCompressed(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := wordcount.Generate(c.fs, "/data/tc", 256<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	want, err := wordcount.CountReference(c.fs, "/data/tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJob := func(out, codec string) *conf.JobConf {
+		job := wordcount.NewJob("/data/tc", out, 3, false)
+		job.SetInt64("io.sort.bytes", 16<<10)
+		job.Set(conf.KeyM3RSpillCodec, codec)
+		return job
+	}
+	if _, err := c.hadoop.Submit(mkJob("/out/spilled_flate", "flate")); err != nil {
+		t.Fatalf("flate submit: %v", err)
+	}
+	stored, raw := c.stats.Get(sim.SpillBytes), c.stats.Get(sim.SpillRawBytes)
+	if raw == 0 {
+		t.Fatal("multi-spill job recorded no raw spill bytes")
+	}
+	if stored >= raw {
+		t.Fatalf("flate spills stored %d bytes >= raw %d", stored, raw)
+	}
+	checkCounts(t, readTextOutput(t, c.fs, "/out/spilled_flate"), want)
+
+	if _, err := c.hadoop.Submit(mkJob("/out/spilled_none", "none")); err != nil {
+		t.Fatalf("raw submit: %v", err)
+	}
+	a := readTextOutput(t, c.fs, "/out/spilled_flate")
+	b := readTextOutput(t, c.fs, "/out/spilled_none")
+	if len(a) != len(b) {
+		t.Fatalf("flate %d lines vs raw %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
 // TestM3RShuffleBudgetSpills drives the M3R engine's spill path: a shuffle
 // budget far below the job's shuffle volume forces runs to disk (asserted
 // via the SpilledRuns counter), and the job's output must stay

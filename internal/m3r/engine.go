@@ -248,6 +248,10 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 	}
 
 	applyEnvDefaults(job)
+	spillCodec, err := spill.ParseCodec(job.GetDefault(conf.KeyM3RSpillCodec, ""))
+	if err != nil {
+		return nil, err
+	}
 	x := &jobExec{
 		e:             e,
 		job:           job,
@@ -259,6 +263,7 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 		dedup:         job.GetBool(conf.KeyM3RDedup, true),
 		shuffleBudget: job.GetInt64(conf.KeyM3RShuffleBudget, 0),
 		readmit:       job.GetBool(conf.KeyM3RReadmit, false),
+		codec:         spillCodec,
 		mergeCfg:      engine.MergeConfigFromJob(job),
 	}
 	// A kill aborts an engaged staged merge's workers directly, not only
@@ -438,6 +443,7 @@ type jobExec struct {
 	// in-memory design point.
 	shuffleBudget int64
 	readmit       bool
+	codec         spill.Codec // block compression for spilled runs (conf.KeyM3RSpillCodec)
 	budgets       []*engine.JobBudget
 	resident      []*residentSet
 	spillQ        []*spillQueue
@@ -461,6 +467,7 @@ func applyEnvDefaults(job *conf.JobConf) {
 		conf.KeyM3RShuffleBudget: "M3R_SHUFFLE_BUDGET_BYTES",
 		conf.KeyM3RSpillQueue:    "M3R_SHUFFLE_SPILL_QUEUE",
 		conf.KeyM3RReadmit:       "M3R_SHUFFLE_READMIT",
+		conf.KeyM3RSpillCodec:    "M3R_SPILL_CODEC",
 	} {
 		if !job.Has(key) {
 			if v := os.Getenv(env); v != "" {
@@ -939,31 +946,41 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 		x.resident[pi.place].add(r, pi)
 		return nil
 	}
-	// Overflow: the run goes to disk. Counters, stats and cost are charged
-	// here, before the write — identically whether the write happens inline
-	// or later on the spill worker — so per-job accounting does not depend
-	// on the queue setting.
-	x.chargeSpill(ctx, recs)
-	req := spillReq{pi: pi, src: src, recs: recs, keyClass: keyClass, valClass: valClass, size: size}
+	// Overflow: the run goes to disk. It is encoded to its exact on-disk
+	// segment bytes here, at admission time, so counters, stats and cost
+	// charge the stored (compressed) length before the write — identically
+	// whether the write happens inline or later on the spill worker — and
+	// so the queue's backlog holds compressed bytes, not raw ones.
+	enc, err := spill.EncodeRun(recs, x.codec)
+	if err != nil {
+		return err
+	}
+	x.chargeSpill(ctx, enc, len(recs))
+	req := spillReq{pi: pi, src: src, enc: enc, keyClass: keyClass, valClass: valClass, size: size}
 	if x.spillQ != nil {
 		return x.spillQ[pi.place].enqueue(req)
 	}
 	return writeSpill(x, req)
 }
 
-// chargeSpill charges one run's spill to the task's counters and the
-// engine's stats/cost model — at admission time, not write time, so the
-// accounting is identical whether the write happens inline, on a spill
-// worker, or as a largest-first eviction.
-func (x *jobExec) chargeSpill(ctx *engine.TaskContext, recs []spill.Rec) {
-	n := spill.EncodedLen(recs)
+// chargeSpill charges one encoded run's spill to the task's counters and
+// the engine's stats/cost model — at admission time, not write time, so
+// the accounting is identical whether the write happens inline, on a spill
+// worker, or as a largest-first eviction. SPILLED_BYTES (and the disk
+// cost) is the stored length — compressed when a codec is configured —
+// while SPILLED_RAW_BYTES is the raw record-format length, so the ratio
+// between the two is the job's observable spill compression.
+func (x *jobExec) chargeSpill(ctx *engine.TaskContext, enc spill.EncodedRun, nrecs int) {
+	stored := int64(len(enc.Data))
 	ctx.Cells.SpilledRuns.Increment(1)
-	ctx.Cells.SpilledBytes.Increment(n)
-	ctx.Cells.SpilledRecords.Increment(int64(len(recs)))
+	ctx.Cells.SpilledBytes.Increment(stored)
+	ctx.Cells.SpilledRawBytes.Increment(enc.Raw)
+	ctx.Cells.SpilledRecords.Increment(int64(nrecs))
 	e := x.e
-	e.stats.Add(sim.SpillBytes, n)
+	e.stats.Add(sim.SpillBytes, stored)
+	e.stats.Add(sim.SpillRawBytes, enc.Raw)
 	e.stats.Add(sim.SpillFiles, 1)
-	e.cost.ChargeDisk(e.stats, n)
+	e.cost.ChargeDisk(e.stats, stored)
 }
 
 func (pi *partitionInput) install(r *sourceRun) {

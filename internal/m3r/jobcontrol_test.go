@@ -20,14 +20,14 @@ func TestKillDuringSpillWrite(t *testing.T) {
 	reached := make(chan struct{})
 	release := make(chan struct{})
 	var first atomic.Bool
-	swapSpillWrite(t, func(path string, recs []spill.Rec) (int64, error) {
+	swapSpillWrite(t, func(path string, enc spill.EncodedRun) (int64, error) {
 		// One spill worker runs per place: only the first write anywhere
 		// blocks, so the kill lands with other spills queued behind it.
 		if first.CompareAndSwap(false, true) {
 			close(reached)
 			<-release
 		}
-		return spill.WriteRunFile(path, recs)
+		return spill.WriteEncodedFile(path, enc)
 	})
 
 	e := newFaultEngine(t, 2)

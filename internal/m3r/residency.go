@@ -6,6 +6,7 @@ import (
 
 	"m3r/internal/engine"
 	"m3r/internal/sim"
+	"m3r/internal/spill"
 )
 
 // This file implements the largest-first spill policy's resident-run index.
@@ -125,11 +126,15 @@ func (x *jobExec) evictLargest(ctx *engine.TaskContext, place int, min int64) (i
 		// rather than silently dropping the eviction candidate.
 		return 0, fmt.Errorf("m3r: re-encoding resident run for eviction: %w", err)
 	}
+	enc, err := spill.EncodeRun(recs, x.codec)
+	if err != nil {
+		return 0, err
+	}
 	path, err := x.spillPath()
 	if err != nil {
 		return 0, err
 	}
-	if _, err := spillWriteRun(path, recs); err != nil {
+	if _, err := spillWriteRun(path, enc); err != nil {
 		return 0, err
 	}
 	size := victim.size
@@ -138,7 +143,7 @@ func (x *jobExec) evictLargest(ctx *engine.TaskContext, place int, min int64) (i
 	victim.size = 0
 	victim.spill = &spilledRun{path: path, keyClass: keyClass, valClass: valClass, size: size}
 	pi.mu.Unlock()
-	x.chargeSpill(ctx, recs)
+	x.chargeSpill(ctx, enc, len(recs))
 	ctx.Cells.EvictedResidentRuns.Increment(1)
 	x.e.stats.Add(sim.EvictedRuns, 1)
 	return size, nil

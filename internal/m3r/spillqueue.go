@@ -30,15 +30,17 @@ import (
 
 // spillWriteRun is the spill write entry point. Tests swap it to inject
 // disk faults: hard open errors, disk-full truncation mid-file, panics.
-var spillWriteRun = spill.WriteRunFile
+var spillWriteRun = spill.WriteEncodedFile
 
 // spillReq is one overflow run queued for (or handed inline to) the spill
-// write path: the encoded records plus everything needed to install the
-// spilled run in its partition afterwards.
+// write path: the run pre-encoded to its exact on-disk segment bytes
+// (compressed when the job configures a codec — encoding happens at
+// admission so the charge and the backlog both see stored bytes) plus
+// everything needed to install the spilled run in its partition.
 type spillReq struct {
 	pi                 *partitionInput
 	src                int
-	recs               []spill.Rec
+	enc                spill.EncodedRun
 	keyClass, valClass string
 	size               int64 // budget accounting size, kept for readmission
 }
@@ -57,7 +59,7 @@ func writeSpill(x *jobExec, req spillReq) error {
 	if err != nil {
 		return err
 	}
-	if _, err := spillWriteRun(path, req.recs); err != nil {
+	if _, err := spillWriteRun(path, req.enc); err != nil {
 		return err
 	}
 	req.pi.install(&sourceRun{src: req.src, spill: &spilledRun{

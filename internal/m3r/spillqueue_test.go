@@ -23,7 +23,7 @@ import (
 
 // swapSpillWrite installs a fault-injecting spill write for one test and
 // restores the real one afterwards.
-func swapSpillWrite(t *testing.T, fn func(string, []spill.Rec) (int64, error)) {
+func swapSpillWrite(t *testing.T, fn func(string, spill.EncodedRun) (int64, error)) {
 	t.Helper()
 	orig := spillWriteRun
 	spillWriteRun = fn
@@ -76,7 +76,7 @@ func TestSpillWorkerWriteErrorFailsJob(t *testing.T) {
 	injected := errors.New("injected spill device error")
 	var calls, after atomic.Int64
 	var failed atomic.Bool
-	swapSpillWrite(t, func(path string, recs []spill.Rec) (int64, error) {
+	swapSpillWrite(t, func(path string, enc spill.EncodedRun) (int64, error) {
 		if failed.Load() {
 			after.Add(1)
 		}
@@ -84,7 +84,7 @@ func TestSpillWorkerWriteErrorFailsJob(t *testing.T) {
 			failed.Store(true)
 			return 0, injected
 		}
-		return spill.WriteRunFile(path, recs)
+		return spill.WriteEncodedFile(path, enc)
 	})
 
 	e := newFaultEngine(t, 1)
@@ -120,12 +120,12 @@ func TestSpillWorkerWriteErrorFailsJob(t *testing.T) {
 // and the partial spill file must be cleaned up with the job.
 func TestSpillWorkerDiskFullFailsJob(t *testing.T) {
 	var calls atomic.Int64
-	swapSpillWrite(t, func(path string, recs []spill.Rec) (int64, error) {
+	swapSpillWrite(t, func(path string, enc spill.EncodedRun) (int64, error) {
 		if calls.Add(1) == 1 {
 			os.WriteFile(path, []byte("partial run"), 0o644)
 			return 0, fmt.Errorf("write %s: %w", path, syscall.ENOSPC)
 		}
-		return spill.WriteRunFile(path, recs)
+		return spill.WriteEncodedFile(path, enc)
 	})
 
 	e := newFaultEngine(t, 2)
@@ -152,7 +152,7 @@ func TestSpillWorkerDiskFullFailsJob(t *testing.T) {
 // convert to a job failure — the worker keeps draining its queue so map
 // tasks blocked on a full queue always unblock, and Submit returns.
 func TestSpillWorkerPanicDoesNotHang(t *testing.T) {
-	swapSpillWrite(t, func(path string, recs []spill.Rec) (int64, error) {
+	swapSpillWrite(t, func(path string, enc spill.EncodedRun) (int64, error) {
 		panic("simulated corruption in the spill encoder")
 	})
 
@@ -173,10 +173,10 @@ func TestSpillWorkerPanicDoesNotHang(t *testing.T) {
 
 // newSpillExec builds a minimal one-place jobExec for exercising the
 // partitionInput lifecycle without a cluster.
-func newSpillExec(budget int64, queueDepth int, readmit bool) *jobExec {
+func newSpillExec(budget int64, queueDepth int, readmit bool, codec spill.Codec) *jobExec {
 	e := &Engine{stats: sim.NewStats(), cost: sim.Zero()}
 	x := &jobExec{e: e, jobID: "job_test_0001", jc: counters.New(),
-		shuffleBudget: budget, readmit: readmit}
+		shuffleBudget: budget, readmit: readmit, codec: codec}
 	if budget > 0 {
 		x.budgets = []*engine.JobBudget{engine.NewBudgetPool(budget).Job(x.jobID, 0)}
 		x.resident = []*residentSet{newResidentSet()}
@@ -234,7 +234,7 @@ func TestBudgetReleaseAndReadmission(t *testing.T) {
 	}
 
 	// Reference: what partition 2's merge must yield, from an unbudgeted run.
-	ref := newSpillExec(0, 0, false)
+	ref := newSpillExec(0, 0, false, spill.CodecNone)
 	refPi := &partitionInput{x: ref, place: 0}
 	ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
 	if err := refPi.addRun(ctx, 0, textRun("c", 40)); err != nil {
@@ -246,7 +246,7 @@ func TestBudgetReleaseAndReadmission(t *testing.T) {
 	}
 	want := drainMerge(t, ref, refReaders)
 
-	x := newSpillExec(size, 0, true) // budget = exactly one run
+	x := newSpillExec(size, 0, true, spill.CodecNone) // budget = exactly one run
 	defer x.cleanup()
 	pi1 := &partitionInput{x: x, place: 0}
 	pi2 := &partitionInput{x: x, place: 0}
@@ -322,18 +322,24 @@ func TestBudgetReleaseAndReadmission(t *testing.T) {
 }
 
 // FuzzSpillQueue feeds fuzzer-shaped runs through the spill lifecycle at a
-// fuzzer-chosen budget and queue depth, and pins the three invariants the
-// pipeline promises at every setting: the merged stream is byte-identical
-// to the synchronous unqueued path, no spill stream stays open, and the
-// accountant returns to zero once the merge drains.
+// fuzzer-chosen budget, queue depth and spill codec, and pins the three
+// invariants the pipeline promises at every setting: the merged stream is
+// byte-identical to the synchronous unqueued raw-codec path, no spill
+// stream stays open, and the accountant returns to zero once the merge
+// drains.
 func FuzzSpillQueue(f *testing.F) {
-	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(3), uint8(2), uint8(64), false)
-	f.Add([]byte("aaaa bbbb aaaa cccc"), uint8(5), uint8(1), uint8(4), true)
-	f.Add([]byte(""), uint8(1), uint8(0), uint8(0), false)
-	f.Fuzz(func(t *testing.T, data []byte, nruns, depth, budgetScale uint8, readmit bool) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(3), uint8(2), uint8(64), false, false)
+	f.Add([]byte("aaaa bbbb aaaa cccc"), uint8(5), uint8(1), uint8(4), true, true)
+	f.Add([]byte(""), uint8(1), uint8(0), uint8(0), false, false)
+	f.Add([]byte("pad pad pad compress me compress me"), uint8(2), uint8(3), uint8(16), true, true)
+	f.Fuzz(func(t *testing.T, data []byte, nruns, depth, budgetScale uint8, readmit, flate bool) {
 		runs := int(nruns%6) + 1
 		queueDepth := int(depth % 4) // 0 = synchronous
 		budget := int64(budgetScale) * 8
+		codec := spill.CodecNone
+		if flate {
+			codec = spill.CodecFlate
+		}
 
 		// Slice the fuzz bytes into `runs` sorted runs of Text/Int pairs.
 		words := strings.Fields(string(data))
@@ -349,8 +355,8 @@ func FuzzSpillQueue(f *testing.F) {
 			return out
 		}
 
-		drive := func(budget int64, queueDepth int, readmit bool) []string {
-			x := newSpillExec(budget, queueDepth, readmit)
+		drive := func(budget int64, queueDepth int, readmit bool, codec spill.Codec) []string {
+			x := newSpillExec(budget, queueDepth, readmit, codec)
 			defer x.cleanup()
 			pi := &partitionInput{x: x, place: 0}
 			ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
@@ -379,8 +385,8 @@ func FuzzSpillQueue(f *testing.F) {
 		}
 
 		streamBase := spill.OpenStreamCount()
-		want := drive(0, 0, false) // unbudgeted in-memory reference
-		got := drive(budget, queueDepth, readmit)
+		want := drive(0, 0, false, spill.CodecNone) // unbudgeted in-memory reference
+		got := drive(budget, queueDepth, readmit, codec)
 		if len(got) != len(want) {
 			t.Fatalf("budget=%d queue=%d readmit=%v: %d pairs vs %d", budget, queueDepth, readmit, len(got), len(want))
 		}
@@ -393,4 +399,82 @@ func FuzzSpillQueue(f *testing.F) {
 			t.Fatalf("OpenStreamCount=%d baseline %d", n, streamBase)
 		}
 	})
+}
+
+// TestCompressedSpillChargesStoredBytesAndReadmitsRawSize pins the codec's
+// accounting contract end to end: with flate configured, SPILLED_BYTES
+// counts the stored (compressed) bytes and SPILLED_RAW_BYTES the raw
+// record-format bytes (so stored < raw on repetitive runs); the budget,
+// however, keeps accounting in raw in-memory sizes — a readmitted
+// compressed run reserves its full raw size, not its compressed one — and
+// the merge output stays byte-identical to the raw-codec lifecycle.
+func TestCompressedSpillChargesStoredBytesAndReadmitsRawSize(t *testing.T) {
+	_, _, _, size, err := encodeRun(textRun("aaaa", 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the raw-codec lifecycle at identical settings.
+	drive := func(codec spill.Codec) ([]string, *engine.TaskContext, *jobExec) {
+		x := newSpillExec(size, 0, true, codec) // budget = exactly one run
+		pi1 := &partitionInput{x: x, place: 0}
+		pi2 := &partitionInput{x: x, place: 0}
+		ctx := engine.NewTaskContext(conf.NewJob(), "task", nil)
+		if err := pi1.addRun(ctx, 0, textRun("aaaa", 40)); err != nil { // resident
+			t.Fatal(err)
+		}
+		if err := pi2.addRun(ctx, 0, textRun("cccc", 40)); err != nil { // spills
+			t.Fatal(err)
+		}
+		r1, err := pi1.takeReaders(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := drainMerge(t, x, r1) // releases A's reservation
+		// Partition 2 opens with budget free: C readmits from its
+		// compressed run file.
+		r2, err := pi2.takeReaders(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Cells.ReadmittedRuns.Value(); got != 1 {
+			t.Fatalf("codec %s: ReadmittedRuns=%d want 1", codec, got)
+		}
+		if held := x.budgets[0].Held(); held != size {
+			t.Fatalf("codec %s: readmitted run holds %d budget bytes, want raw size %d", codec, held, size)
+		}
+		out = append(out, drainMerge(t, x, r2)...)
+		return out, ctx, x
+	}
+
+	want, refCtx, refX := drive(spill.CodecNone)
+	defer refX.cleanup()
+	got, ctx, x := drive(spill.CodecFlate)
+	defer x.cleanup()
+
+	if len(got) != len(want) {
+		t.Fatalf("flate lifecycle yielded %d pairs, raw yielded %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d differs between flate and raw lifecycles", i)
+		}
+	}
+	stored, raw := ctx.Cells.SpilledBytes.Value(), ctx.Cells.SpilledRawBytes.Value()
+	if raw == 0 || stored == 0 {
+		t.Fatalf("spill accounting silent: stored=%d raw=%d", stored, raw)
+	}
+	if stored >= raw {
+		t.Fatalf("flate spill stored %d bytes >= raw %d on repetitive keys", stored, raw)
+	}
+	if refStored, refRaw := refCtx.Cells.SpilledBytes.Value(), refCtx.Cells.SpilledRawBytes.Value(); refStored != refRaw {
+		t.Fatalf("codec none: stored %d != raw %d — raw layout must charge identical numbers", refStored, refRaw)
+	}
+	// The engine's stats and disk cost follow the stored bytes.
+	if got := x.e.stats.Get(sim.SpillBytes); got != stored {
+		t.Fatalf("sim spill.bytes=%d, counters say %d", got, stored)
+	}
+	if got := x.e.stats.Get(sim.SpillRawBytes); got != raw {
+		t.Fatalf("sim spill.raw.bytes=%d, counters say %d", got, raw)
+	}
 }

@@ -110,7 +110,8 @@ const (
 	CacheHits            = "cache.hits"          // splits served from the KV cache
 	CacheMisses          = "cache.misses"        // splits read from the filesystem
 	CacheWrites          = "cache.writes"        // output blocks written to the cache
-	SpillBytes           = "spill.bytes"         // bytes written to map-side spill files
+	SpillBytes           = "spill.bytes"         // bytes written to spill files (compressed when a codec is set)
+	SpillRawBytes        = "spill.raw.bytes"     // raw record-format bytes of the same spills (ratio = bytes/raw)
 	SpillFiles           = "spill.files"         // number of spill files
 	EvictedRuns          = "evicted.runs"        // resident runs re-spilled largest-first
 	ShuffleFetchBytes    = "shuffle.fetch.bytes" // reduce-side segment fetch bytes

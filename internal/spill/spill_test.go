@@ -1,13 +1,20 @@
 package spill
 
 import (
+	"bufio"
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
+	"syscall"
 	"testing"
 	"testing/quick"
 
@@ -252,6 +259,21 @@ func FuzzStreamNext(f *testing.F) {
 	f.Add([]byte{2, 'a'})                       // truncated key
 	f.Add([]byte{0x80})                         // truncated varint
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length, no bytes
+	// Straddling value: the key consumes most of the segment, then the
+	// value claims more bytes than remain — the exact-bounds check must
+	// reject it against the precise remainder, not the segment total.
+	f.Add([]byte{3, 'a', 'b', 'c', 8, 'x', 'y', 'z'})
+	// Block-compressed seeds: a valid flate segment and corrupted variants,
+	// so the fuzzer starts with the magic and explores block framing.
+	if enc, err := EncodeRun([]Rec{{K: []byte("fuzz"), V: []byte("seed seed seed")}}, CodecFlate); err == nil {
+		f.Add(enc.Data)
+		tampered := append([]byte(nil), enc.Data...)
+		tampered[len(tampered)-1] ^= 0xff
+		f.Add(tampered)
+		short := append([]byte(nil), enc.Data[:len(enc.Data)/2]...)
+		f.Add(short)
+	}
+	f.Add(append(append([]byte{}, segMagic[:]...), formatVersion, byte(CodecFlate), byte(CodecFlate), 0x05, 0x01, 'x'))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Oversized length prefixes would make the reader allocate the
 		// declared size before discovering the bytes are missing; cap the
@@ -263,9 +285,16 @@ func FuzzStreamNext(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		streamBase := OpenStreamCount()
 		s, err := OpenSegment(path, Segment{Off: 0, Len: int64(len(data))})
 		if err != nil {
-			t.Fatal(err)
+			// Inputs starting with the block magic but carrying a bad
+			// version or codec are rejected at open — loudly, which is the
+			// contract; rejection must not leak the stream slot.
+			if got := OpenStreamCount(); got != streamBase {
+				t.Fatalf("OpenSegment errored but OpenStreamCount=%d (baseline %d)", got, streamBase)
+			}
+			return
 		}
 		defer s.Close()
 		var parsed []Rec
@@ -344,5 +373,468 @@ func TestEncodedLenMatchesBytesOnDisk(t *testing.T) {
 		if st.Size() != n {
 			t.Errorf("case %d: file is %d bytes, accounting says %d", i, st.Size(), n)
 		}
+	}
+}
+
+// --- block-compressed format ---
+
+// compressibleRecs builds n sorted-looking records with repetitive keys —
+// the shape block compression exists for.
+func compressibleRecs(n int) []Rec {
+	recs := make([]Rec, n)
+	for i := range recs {
+		recs[i] = Rec{
+			K: []byte(fmt.Sprintf("word_prefix_shared_%06d", i)),
+			V: []byte("count=1;count=1;count=1"),
+		}
+	}
+	return recs
+}
+
+// TestCodecRoundTrip pins the tentpole's core contract: for every codec the
+// records read back byte-identical, CodecNone produces the legacy raw bytes
+// exactly, and flate actually shrinks repetitive multi-block runs.
+func TestCodecRoundTrip(t *testing.T) {
+	recs := compressibleRecs(5000) // ~230 KiB raw: several 64 KiB blocks
+	raw := EncodedLen(recs)
+	for _, codec := range []Codec{CodecNone, CodecFlate} {
+		t.Run(codec.String(), func(t *testing.T) {
+			enc, err := EncodeRun(recs, codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if enc.Raw != raw {
+				t.Fatalf("EncodedRun.Raw=%d, want EncodedLen %d", enc.Raw, raw)
+			}
+			path := filepath.Join(t.TempDir(), "run")
+			n, err := WriteEncodedFile(path, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(enc.Data)) {
+				t.Fatalf("WriteEncodedFile returned %d, data is %d bytes", n, len(enc.Data))
+			}
+			switch codec {
+			case CodecNone:
+				if n != raw {
+					t.Fatalf("codec none wrote %d bytes, raw layout is %d", n, raw)
+				}
+				// Byte-compatibility: identical to the legacy writer's output.
+				legacy := filepath.Join(t.TempDir(), "legacy")
+				if _, err := WriteRunFile(legacy, recs); err != nil {
+					t.Fatal(err)
+				}
+				a, _ := os.ReadFile(path)
+				b, _ := os.ReadFile(legacy)
+				if !bytes.Equal(a, b) {
+					t.Fatal("codec none is not byte-identical to the legacy raw layout")
+				}
+			case CodecFlate:
+				if n >= raw {
+					t.Fatalf("flate stored %d bytes >= raw %d on repetitive data", n, raw)
+				}
+			}
+			s, err := OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			got := readAll(t, s)
+			if len(got) != len(recs) {
+				t.Fatalf("read %d recs, want %d", len(got), len(recs))
+			}
+			for i := range recs {
+				if !bytes.Equal(got[i].K, recs[i].K) || !bytes.Equal(got[i].V, recs[i].V) {
+					t.Fatalf("rec %d differs under codec %s", i, codec)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecRoundTripProperty: arbitrary (incompressible, oddly sized)
+// records survive flate block framing too — including records larger than
+// the block target, which must land in their own oversized block.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(keys [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Rec, len(keys))
+		for i, k := range keys {
+			v := make([]byte, rng.Intn(3*blockRawTarget/len(recs)+16))
+			rng.Read(v)
+			recs[i] = Rec{K: k, V: v}
+		}
+		enc, err := EncodeRun(recs, CodecFlate)
+		if err != nil {
+			return false
+		}
+		path := filepath.Join(t.TempDir(), "prop")
+		if _, err := WriteEncodedFile(path, enc); err != nil {
+			return false
+		}
+		s, err := OpenFile(path)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, want := range recs {
+			got, ok, err := s.Next()
+			if err != nil || !ok {
+				return false
+			}
+			if !bytes.Equal(got.K, want.K) || !bytes.Equal(got.V, want.V) {
+				return false
+			}
+		}
+		_, ok, err := s.Next()
+		return !ok && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentWriterMultiSegmentFile drives the Hadoop shape: several
+// compressed segments (one per partition) share one file, each with its
+// own header, and a byte-range copy of one segment — the reducer's shuffle
+// fetch — stays self-describing at offset zero of the copy.
+func TestSegmentWriterMultiSegmentFile(t *testing.T) {
+	parts := [][]Rec{compressibleRecs(700), compressibleRecs(40), nil, {{K: []byte("k"), V: []byte("v")}}}
+	path := filepath.Join(t.TempDir(), "file.out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	var segs []Segment
+	var off int64
+	for _, recs := range parts {
+		sw := NewSegmentWriter(w, CodecFlate)
+		for _, r := range recs {
+			if err := sw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, raw, err := sw.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw != EncodedLen(recs) {
+			t.Fatalf("segment raw=%d want %d", raw, EncodedLen(recs))
+		}
+		segs = append(segs, Segment{Off: off, Len: n})
+		off += n
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(path string, seg Segment, want []Rec) {
+		t.Helper()
+		s, err := OpenSegment(path, seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		got := readAll(t, s)
+		if len(got) != len(want) {
+			t.Fatalf("segment read %d recs, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i].K, want[i].K) || !bytes.Equal(got[i].V, want[i].V) {
+				t.Fatalf("rec %d differs", i)
+			}
+		}
+	}
+	for p, recs := range parts {
+		check(path, segs[p], recs)
+	}
+	// Fetch simulation: copy partition 1's byte range into its own file.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segs[1]
+	fetched := filepath.Join(t.TempDir(), "seg_000001")
+	if err := os.WriteFile(fetched, full[seg.Off:seg.Off+seg.Len], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check(fetched, Segment{Off: 0, Len: seg.Len}, parts[1])
+}
+
+// TestTruncatedCompressedSegmentIsAnError: every truncation point of a
+// block-compressed segment — mid segment header, mid block header, mid
+// compressed body — surfaces a loud error, never a silent short stream,
+// with no stream leaked past its Close.
+func TestTruncatedCompressedSegmentIsAnError(t *testing.T) {
+	enc, err := EncodeRun(compressibleRecs(300), CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := OpenStreamCount()
+	total := int64(len(enc.Data))
+	for cut := int64(0); cut < total; cut++ {
+		path := filepath.Join(t.TempDir(), "trunc")
+		if err := os.WriteFile(path, enc.Data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The segment still claims the full length; the bytes are missing.
+		s, err := OpenSegment(path, Segment{Off: 0, Len: total})
+		if err != nil {
+			continue // truncated inside the segment header: loud at open
+		}
+		sawErr := false
+		for {
+			_, ok, err := s.Next()
+			if err != nil {
+				sawErr = true
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+		s.Close()
+		if !sawErr {
+			t.Fatalf("cut %d of %d: truncated compressed segment read to a silent end-of-stream", cut, total)
+		}
+	}
+	if n := OpenStreamCount(); n != base {
+		t.Fatalf("OpenStreamCount=%d baseline %d: leaked streams", n, base)
+	}
+}
+
+// blockSegment hand-assembles a single-block compressed segment with the
+// given header fields, for corrupting them independently of the writer.
+func blockSegment(t *testing.T, blockCodec Codec, rawLen uint64, body []byte) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	b.Write(segMagic[:])
+	b.WriteByte(formatVersion)
+	b.WriteByte(byte(CodecFlate))
+	b.WriteByte(byte(blockCodec))
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], rawLen)])
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(body)))])
+	b.Write(body)
+	return b.Bytes()
+}
+
+// deflate compresses b with the codec the writer uses.
+func deflate(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var c bytes.Buffer
+	fw, err := flate.NewWriter(&c, flate.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Bytes()
+}
+
+// TestBlockSizeMismatchIsAnError: a block whose body inflates to more or
+// fewer bytes than its header's raw length — and a stored block whose two
+// lengths disagree, and a flate block declaring an impossible expansion —
+// all surface ErrBlockSizeMismatch.
+func TestBlockSizeMismatchIsAnError(t *testing.T) {
+	payload := appendRec(nil, Rec{K: []byte("abc"), V: []byte("defgh")})
+	comp := deflate(t, payload)
+	cases := map[string][]byte{
+		// Declares one byte more than the body inflates to.
+		"inflates short": blockSegment(t, CodecFlate, uint64(len(payload))+1, comp),
+		// Declares one byte fewer than the body inflates to.
+		"inflates beyond": blockSegment(t, CodecFlate, uint64(len(payload))-1, comp),
+		// Stored block with disagreeing lengths.
+		"stored mismatch": blockSegment(t, CodecNone, uint64(len(payload))+3, payload),
+		// rawLen beyond flate's possible expansion: must be rejected before
+		// the reader allocates it.
+		"implausible rawLen": blockSegment(t, CodecFlate, 1<<40, comp),
+	}
+	base := OpenStreamCount()
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "seg")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			_, ok, err := s.Next()
+			if ok || !errors.Is(err, ErrBlockSizeMismatch) {
+				t.Fatalf("ok=%v err=%v, want ErrBlockSizeMismatch", ok, err)
+			}
+		})
+	}
+	if n := OpenStreamCount(); n != base {
+		t.Fatalf("OpenStreamCount=%d baseline %d", n, base)
+	}
+}
+
+// TestUnknownCodecIsAnError: an unknown codec id in the segment header
+// fails at open (before any record is surfaced); in a block header it
+// fails at Next. Both carry ErrUnknownCodec, as does ParseCodec on an
+// unknown name.
+func TestUnknownCodecIsAnError(t *testing.T) {
+	base := OpenStreamCount()
+	payload := appendRec(nil, Rec{K: []byte("k"), V: []byte("v")})
+
+	seg := blockSegment(t, CodecNone, uint64(len(payload)), payload)
+	seg[5] = 99 // segment codec byte
+	path := filepath.Join(t.TempDir(), "badseg")
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("segment-header codec 99: err=%v, want ErrUnknownCodec", err)
+	}
+
+	blk := blockSegment(t, CodecNone, uint64(len(payload)), payload)
+	blk[6] = 7 // block codec byte
+	path2 := filepath.Join(t.TempDir(), "badblk")
+	if err := os.WriteFile(path2, blk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); ok || !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("block-header codec 7: ok=%v err=%v, want ErrUnknownCodec", ok, err)
+	}
+	s.Close()
+
+	if _, err := ParseCodec("zstd"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("ParseCodec(zstd)=%v, want ErrUnknownCodec", err)
+	}
+	if n := OpenStreamCount(); n != base {
+		t.Fatalf("OpenStreamCount=%d baseline %d", n, base)
+	}
+}
+
+// TestUnsupportedVersionIsAnError: a segment header from a future format
+// version fails at open instead of being misparsed.
+func TestUnsupportedVersionIsAnError(t *testing.T) {
+	payload := appendRec(nil, Rec{K: []byte("k"), V: []byte("v")})
+	seg := blockSegment(t, CodecNone, uint64(len(payload)), payload)
+	seg[4] = formatVersion + 1
+	path := filepath.Join(t.TempDir(), "future")
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version opened: err=%v", err)
+	}
+}
+
+// --- bugfix pins ---
+
+// failAfterWriter fails with ENOSPC once n bytes have been accepted.
+type failAfterWriter struct {
+	w io.Writer
+	n int
+}
+
+func (fw *failAfterWriter) Write(p []byte) (int, error) {
+	if fw.n <= 0 {
+		return 0, syscall.ENOSPC
+	}
+	if len(p) > fw.n {
+		n, _ := fw.w.Write(p[:fw.n])
+		fw.n = 0
+		return n, syscall.ENOSPC
+	}
+	n, err := fw.w.Write(p)
+	fw.n -= n
+	return n, err
+}
+
+// swapRunFileWriter installs a fault-injecting run-file writer.
+func swapRunFileWriter(t *testing.T, fn func(f *os.File) io.Writer) {
+	t.Helper()
+	orig := runFileWriter
+	runFileWriter = fn
+	t.Cleanup(func() { runFileWriter = orig })
+}
+
+// TestWriteRunFileRemovesPartialOnError pins the write-error cleanup fix:
+// an ENOSPC mid-write (or at flush) must surface the error AND remove the
+// partial file — a failed spill must not strand garbage in scratch.
+func TestWriteRunFileRemovesPartialOnError(t *testing.T) {
+	recs := compressibleRecs(1000) // > bufio's buffer, so flush really writes
+	for _, budget := range []int{0, 10, 5000} {
+		swapRunFileWriter(t, func(f *os.File) io.Writer { return &failAfterWriter{w: f, n: budget} })
+		path := filepath.Join(t.TempDir(), "run")
+		if _, err := WriteRunFile(path, recs); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("budget %d: err=%v, want ENOSPC", budget, err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("budget %d: partial run file left on disk (stat err=%v)", budget, err)
+		}
+	}
+}
+
+// TestWriteEncodedFileRemovesPartialOnError is the same pin for the
+// pre-encoded (async spill queue) write path.
+func TestWriteEncodedFileRemovesPartialOnError(t *testing.T) {
+	enc, err := EncodeRun(compressibleRecs(1000), CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapRunFileWriter(t, func(f *os.File) io.Writer { return &failAfterWriter{w: f, n: 7} })
+	path := filepath.Join(t.TempDir(), "run")
+	if _, err := WriteEncodedFile(path, enc); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err=%v, want ENOSPC", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partial run file left on disk (stat err=%v)", err)
+	}
+}
+
+// TestStraddlingValueRejectedBeforeAllocation pins the exact-bounds decode
+// fix: a value length that exceeds the bytes actually remaining — after
+// the key's framing and payload were consumed — must be rejected before
+// the value buffer is allocated. The old check compared against the
+// segment's full remainder, so this record's 1 MiB value claim passed the
+// bound and allocated a second megabyte before ReadFull failed; the test
+// pins both the error and the allocation ceiling.
+func TestStraddlingValueRejectedBeforeAllocation(t *testing.T) {
+	const keyLen = 1 << 20
+	var b bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(keyLen))])
+	b.Write(make([]byte, keyLen))
+	// The value claims another MiB; only these varint bytes remain.
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(keyLen))])
+	path := filepath.Join(t.TempDir(), "straddle")
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, ok, err := s.Next()
+	runtime.ReadMemStats(&after)
+	if ok || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ok=%v err=%v, want io.ErrUnexpectedEOF", ok, err)
+	}
+	// The key allocation (1 MiB) is legitimate; the rejected value must
+	// not add its own megabyte on top.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > keyLen+keyLen/2 {
+		t.Fatalf("Next allocated %d bytes; the straddling value was not rejected before allocation", delta)
 	}
 }
