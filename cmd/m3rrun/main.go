@@ -66,6 +66,11 @@ var (
 	// per-place pool, with the largest-first policy arbitrating overflow.
 	engineBudget = flag.Int64("engine-shuffle-budget", 0,
 		"engine-scoped per-place shuffle memory pool in bytes, shared by all jobs of the sequence (0 = M3R_ENGINE_SHUFFLE_BUDGET_BYTES env default, negative = no pool)")
+	// The cache budget is likewise engine-lifetime (m3r.cache.budget.bytes):
+	// cache entries outlive the jobs that wrote them, so their ceiling
+	// belongs to the engine, not a job conf.
+	cacheBudget = flag.Int64("cache-budget", 0,
+		"engine-scoped per-place inter-job cache budget in bytes; cold entries spill to disk and readmit on access (0 = M3R_CACHE_BUDGET_BYTES env default, negative = unbounded)")
 	// Job lifecycle knobs (shorthand for m3r.job.deadline.ms,
 	// mapred.{map,reduce}.max.attempts, and m3r.job.failover).
 	deadline    = flag.Duration("deadline", 0, "per-job deadline; a job that outlives it fails with a deadline error (0 = none)")
@@ -208,7 +213,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
 	}
-	cluster, err := lab.New(lab.Options{Nodes: *nodes, ShuffleBudgetBytes: *engineBudget, Transport: tr})
+	cluster, err := lab.New(lab.Options{Nodes: *nodes, ShuffleBudgetBytes: *engineBudget, CacheBudgetBytes: *cacheBudget, Transport: tr})
 	if err != nil {
 		log.Fatalf("building cluster: %v", err)
 	}

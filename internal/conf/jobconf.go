@@ -72,6 +72,31 @@ const (
 	// resident run of the same job makes room (EVICTED_RESIDENT_RUNS),
 	// keeping more small runs in memory per byte.
 	KeyM3REngineShuffleBudget = "m3r.engine.shuffle.budget.bytes"
+	// KeyM3RCacheBudget is the engine-scoped, per-place byte ceiling for the
+	// inter-job KV cache (§3.2) — the one large memory consumer that lives
+	// across jobs. Each committed cache block reserves its footprint against
+	// the place's budget pool under a cache-scoped tag (coexisting with the
+	// shuffle's job tags on a pooled engine); under contention, cold entries
+	// spill largest-first to disk in the shared spill record format and
+	// readmit transparently on next access. Like the engine shuffle pool it
+	// is engine-lifetime configuration: the M3R engine reads it at
+	// construction from m3r.Options.CacheBudgetBytes or the
+	// M3R_CACHE_BUDGET_BYTES environment default; setting the key on a
+	// submitted job has no effect. Zero or negative means unbounded — the
+	// paper's pure in-memory cache. Job output is byte-identical at every
+	// setting.
+	KeyM3RCacheBudget = "m3r.cache.budget.bytes"
+	// KeyM3RTaskPlace carries the executing task's place number in the
+	// task-scoped job conf both engines hand to mappers/reducers, so
+	// place-aware output plumbing (MultipleOutputs side files through the
+	// cache) can home blocks at the writing task's place. Set by the
+	// engines per task; setting it on a submitted job has no effect.
+	KeyM3RTaskPlace = "m3r.task.place"
+	// KeyTaskPartition is Hadoop's mapred.task.partition: the task's index
+	// within its phase (map task index or reduce partition), set by both
+	// engines in the task-scoped conf. Library code uses it to build
+	// per-task file names (MultipleOutputs' "name-r-00002" suffixes).
+	KeyTaskPartition = "mapred.task.partition"
 	// KeyM3RSpillQueue bounds the per-place async spill queue: when
 	// positive, shuffle runs that overflow the budget are handed to a
 	// per-place spill worker goroutine through a channel of this capacity,

@@ -44,7 +44,15 @@ const (
 	// honors the same m3r.merge.* staging keys for its segment merge.
 	CacheHitSplits  = "CACHE_HIT_SPLITS"
 	CacheMissSplits = "CACHE_MISS_SPLITS"
-	SpilledRuns     = "SPILLED_RUNS"
+	// Budgeted-cache tiering (m3r.cache.budget.bytes): CACHE_RESIDENT_BYTES
+	// is the gauge of cache blocks resident under the budget at job end;
+	// the entry counters are per-job deltas — cache blocks the largest-first
+	// policy moved to disk (evictions and commit-time overflow) and spilled
+	// blocks promoted back to memory when a later job read them.
+	CacheResidentBytes     = "CACHE_RESIDENT_BYTES"
+	CacheSpilledEntries    = "CACHE_SPILLED_ENTRIES"
+	CacheReadmittedEntries = "CACHE_READMITTED_ENTRIES"
+	SpilledRuns            = "SPILLED_RUNS"
 	// SpilledBytes counts the bytes spilled runs actually occupy on disk —
 	// compressed bytes when a spill codec (m3r.shuffle.compress.codec) is
 	// configured. SpilledRawBytes counts what the same runs occupy in the

@@ -17,6 +17,12 @@ import (
 // is returned wholesale by Drain, so the pool provably drains to zero
 // between jobs.
 //
+// Tags need not be jobs: the M3R engine's budgeted inter-job cache reserves
+// under one engine-lifetime cache tag in the same per-place pool, so cache
+// residents and shuffle runs contend for the same bytes. Such a tag's held
+// bytes legitimately survive job boundaries and drain only as entries are
+// dropped, spilled, or the engine closes.
+//
 // Invariants (property-tested): held never goes negative and never exceeds
 // the limit, per-job held tallies always sum to the pool total, concurrent
 // Reserve/Release conserve bytes, and Drain returns exactly what the job

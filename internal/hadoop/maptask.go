@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 
+	"m3r/internal/conf"
 	"m3r/internal/counters"
 	"m3r/internal/engine"
 	"m3r/internal/formats"
@@ -33,6 +34,7 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 
 	taskID := fmt.Sprintf("attempt_%s_m_%06d_%d", r.jobID, t.index, attempt)
 	taskJob := r.job.CloneJob()
+	taskJob.SetInt(conf.KeyTaskPartition, t.index)
 	ctx := engine.NewTaskContext(taskJob, taskID, t.split)
 	runner := r.rj.NewMapRun()
 	runner.Configure(taskJob)

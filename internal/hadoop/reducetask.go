@@ -34,6 +34,7 @@ func (r *jobRun) runReduceTask(partition int, node string, attempt int) (err err
 
 	taskID := fmt.Sprintf("attempt_%s_r_%06d_%d", r.jobID, partition, attempt)
 	taskJob := r.job.CloneJob()
+	taskJob.SetInt(conf.KeyTaskPartition, partition)
 	ctx := engine.NewTaskContext(taskJob, taskID, nil)
 
 	reduceDir := filepath.Join(r.jobDir, fmt.Sprintf("reduce_%06d_%d", partition, attempt))

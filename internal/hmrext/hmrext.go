@@ -41,6 +41,8 @@ type CacheFS interface {
 	// GetRawCache returns the cache-only view of this filesystem.
 	GetRawCache() dfs.FileSystem
 	// GetCacheRecordReader returns an iterator over the cached pairs for
-	// path, or ok=false when the path is not cached.
-	GetCacheRecordReader(path string) (PairIterator, bool)
+	// path, or ok=false when the path is not cached. A non-nil error is a
+	// real read failure on an entry that is cached — distinct from a miss,
+	// so callers never treat a broken read as "not cached".
+	GetCacheRecordReader(path string) (PairIterator, bool, error)
 }

@@ -1,6 +1,7 @@
 package integration_test
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -116,7 +117,8 @@ type sideWriter struct {
 }
 
 func (s *sideWriter) Configure(job *conf.JobConf) {
-	s.mo = mapred.NewMultipleOutputs(job, "-r-00000")
+	suffix := fmt.Sprintf("-r-%05d", job.GetInt(conf.KeyTaskPartition, 0))
+	s.mo = mapred.NewMultipleOutputs(job, suffix)
 }
 
 func (s *sideWriter) Reduce(key wio.Writable, values mapred.ValueIterator, out mapred.OutputCollector, _ mapred.Reporter) error {
@@ -343,7 +345,7 @@ func TestMultipleOutputs(t *testing.T) {
 	job.SetOutputPath("/out/mo")
 	job.SetMapperClass("examples.WordCount$ImmutableMap")
 	job.SetReducerClass("test.SideWriter")
-	job.SetNumReduceTasks(1)
+	job.SetNumReduceTasks(2)
 	job.SetMapOutputKeyClass(types.TextName)
 	job.SetMapOutputValueClass(types.IntName)
 	job.SetOutputKeyClass(types.TextName)
@@ -364,21 +366,46 @@ func TestMultipleOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sidePath string
+	var sidePaths []string
+	var sidePairs int
 	for _, f := range files {
 		if strings.HasPrefix(dfs.Base(f.Path), "side-") {
-			sidePath = f.Path
+			sidePaths = append(sidePaths, f.Path)
 		}
 	}
-	if sidePath == "" {
+	if len(sidePaths) == 0 {
 		t.Fatalf("no side output among %+v", files)
 	}
-	pairs, err := formats.ReadSeqFileAll(c.fs, sidePath)
-	if err != nil || len(pairs) != 2 {
-		t.Fatalf("side pairs: %d err=%v", len(pairs), err)
+	for _, sidePath := range sidePaths {
+		pairs, err := formats.ReadSeqFileAll(c.fs, sidePath)
+		if err != nil {
+			t.Fatalf("side pairs %s: %v", sidePath, err)
+		}
+		sidePairs += len(pairs)
+		if _, ok, err := c.m3r.CachingFS().GetCacheRecordReader(sidePath); err != nil || !ok {
+			t.Errorf("side output %s not cached", sidePath)
+		}
+		// The cached entry's blocks are homed at the place that ran the
+		// writing reduce task (side-r-NNNNN ← partition NNNNN), not
+		// hardcoded to place 0 — block homing for side files matches main
+		// output.
+		var part int
+		if _, err := fmt.Sscanf(dfs.Base(sidePath), "side-r-%d", &part); err != nil {
+			t.Fatalf("side file name %s: %v", sidePath, err)
+		}
+		info, ok := c.m3r.Cache().Store().GetInfo(sidePath)
+		if !ok || len(info.Blocks) == 0 {
+			t.Fatalf("no cache entry for %s", sidePath)
+		}
+		for _, b := range info.Blocks {
+			if want := c.m3r.PlaceOfPartition(part); b.Place != want {
+				t.Errorf("%s block homed at place %d, want place %d (reduce partition %d)",
+					sidePath, b.Place, want, part)
+			}
+		}
 	}
-	if _, ok := c.m3r.CachingFS().GetCacheRecordReader(sidePath); !ok {
-		t.Error("side output not cached")
+	if sidePairs != 2 {
+		t.Fatalf("side pairs across %d files: %d, want 2", len(sidePaths), sidePairs)
 	}
 }
 

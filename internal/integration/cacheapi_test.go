@@ -110,7 +110,10 @@ func TestGetCacheRecordReader(t *testing.T) {
 	c := newCluster(t, 2)
 	submitWC(t, c, "/data/t", "/out/1")
 	cfs := c.m3r.CachingFS()
-	it, ok := cfs.GetCacheRecordReader("/out/1/part-00000")
+	it, ok, err := cfs.GetCacheRecordReader("/out/1/part-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("output partition not cached")
 	}
@@ -124,8 +127,8 @@ func TestGetCacheRecordReader(t *testing.T) {
 	if n == 0 {
 		t.Error("cached sequence empty")
 	}
-	if _, ok := cfs.GetCacheRecordReader("/no/such/path"); ok {
-		t.Error("uncached path should report !ok")
+	if _, ok, err := cfs.GetCacheRecordReader("/no/such/path"); ok || err != nil {
+		t.Errorf("uncached path should report !ok with no error, got ok=%v err=%v", ok, err)
 	}
 }
 

@@ -65,8 +65,13 @@ func newClusterOpts(t *testing.T, nodes int, poolBytes int64, fallback bool) *cl
 // clusterConfig is the full knob set behind the newCluster* helpers.
 type clusterConfig struct {
 	poolBytes int64
-	fallback  bool
-	transport x10.Transport
+	// cacheBudget puts the M3R engine's inter-job cache under a per-place
+	// byte ceiling (m3r.Options.CacheBudgetBytes); 0 inherits the
+	// M3R_CACHE_BUDGET_BYTES environment default, negative forces the
+	// unbounded cache.
+	cacheBudget int64
+	fallback    bool
+	transport   x10.Transport
 }
 
 func newClusterCfg(t *testing.T, nodes int, cc clusterConfig) *cluster {
@@ -104,6 +109,7 @@ func newClusterCfg(t *testing.T, nodes int, cc clusterConfig) *cluster {
 		Places:             nodes,
 		WorkersPerPlace:    2,
 		ShuffleBudgetBytes: cc.poolBytes,
+		CacheBudgetBytes:   cc.cacheBudget,
 		Transport:          cc.transport,
 		Stats:              stats,
 		Cost:               cost,

@@ -174,7 +174,10 @@ func TestMatVecTempOutputsElided(t *testing.T) {
 		t.Error("temp vector not visible through the caching filesystem")
 	}
 	// And the cached result must be numerically right.
-	pairs, ok := cfs.Cache().PathPairs("/mv/temp_V_1/part-00001")
+	pairs, ok, err := cfs.Cache().PathPairs("/mv/temp_V_1/part-00001")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("temp vector partition not in cache")
 	}

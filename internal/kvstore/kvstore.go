@@ -21,11 +21,13 @@ package kvstore
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 
 	"m3r/internal/dfs"
+	"m3r/internal/spill"
 	"m3r/internal/wio"
 	"m3r/internal/x10"
 )
@@ -117,10 +119,55 @@ func (t *table) release(key string) {
 	t.mu.Unlock()
 }
 
+// blockData is one block's storage state: resident pairs on the heap, or a
+// spilled image on disk in the shared spill record format (exactly one of
+// the two is live). size is the block's accounting size in the record
+// format — the bytes a Residency hook charged at commit — and stays
+// attached across spill/readmit transitions; 0 means the block is
+// unaccounted (no hook installed, or its pairs cannot round-trip through
+// the record format) and therefore never spills.
+type blockData struct {
+	pairs []wio.Pair
+	size  int64
+	spill *spilledBlock
+}
+
+// spilledBlock locates one block's on-disk image. The key/value class names
+// ride in memory (as with the shuffle's spilled runs) so a reader can
+// decode records back into fresh writables.
+type spilledBlock struct {
+	path               string
+	keyClass, valClass string
+}
+
+// Residency is the store's memory-accounting hook: when installed (the M3R
+// engine's budgeted cache), every committed block reports its byte
+// footprint, freed blocks report it back, and spilled blocks ask permission
+// before re-entering memory. The store calls BlockCommitted under the
+// path's entry lock (so a concurrent Delete can never report a free before
+// the commit is reported) and never while holding a dataTable mutex, so
+// implementations may call back into SpillBlock to evict.
+type Residency interface {
+	// BlockCommitted reports a block installed resident with accounting
+	// size size (> 0). An error fails the commit path loudly; the
+	// implementation guarantees it then holds no reservation for info.
+	BlockCommitted(info BlockInfo, size int64) error
+	// BlockFreed reports a block leaving the store. resident tells whether
+	// its pairs were still on the heap (a reservation may be held).
+	BlockFreed(info BlockInfo, size int64, resident bool)
+	// RequestReadmit asks whether a spilled block may be reinstated
+	// resident. A true return transfers a reservation of size bytes to the
+	// store, which must follow with exactly one of ReadmitCommit (the
+	// block is resident again) or ReadmitAbort (it is not).
+	RequestReadmit(info BlockInfo, size int64) bool
+	ReadmitCommit(info BlockInfo, size int64)
+	ReadmitAbort(info BlockInfo, size int64)
+}
+
 // dataTable is one place's block storage.
 type dataTable struct {
 	mu sync.Mutex
-	m  map[BlockInfo][]wio.Pair
+	m  map[BlockInfo]*blockData
 }
 
 // Store is the distributed key/value store.
@@ -130,6 +177,9 @@ type Store struct {
 	data    []*dataTable
 	seqMu   sync.Mutex
 	nextSeq int64
+
+	resMu     sync.RWMutex
+	residency Residency
 }
 
 // New creates a store over the runtime's places.
@@ -137,11 +187,26 @@ func New(rt *x10.Runtime) *Store {
 	s := &Store{rt: rt}
 	for i := 0; i < rt.NumPlaces(); i++ {
 		s.meta = append(s.meta, newTable())
-		s.data = append(s.data, &dataTable{m: make(map[BlockInfo][]wio.Pair)})
+		s.data = append(s.data, &dataTable{m: make(map[BlockInfo]*blockData)})
 	}
 	// The root directory always exists.
 	s.meta[s.metaPlace("/")].meta["/"] = &pathMeta{dir: true}
 	return s
+}
+
+// SetResidency installs (or clears) the store's memory-accounting hook.
+// Install it before any blocks are written: blocks committed without a hook
+// are unaccounted forever.
+func (s *Store) SetResidency(r Residency) {
+	s.resMu.Lock()
+	s.residency = r
+	s.resMu.Unlock()
+}
+
+func (s *Store) residencyHook() Residency {
+	s.resMu.RLock()
+	defer s.resMu.RUnlock()
+	return s.residency
 }
 
 // metaPlace returns the place whose table holds path's metadata (static
@@ -381,12 +446,27 @@ func (s *Store) Delete(path string) error {
 	return nil
 }
 
+// freeBlocks removes block data, deletes any spilled images from disk, and
+// reports accounted blocks to the residency hook. Callers hold the owning
+// path's entry lock, so a free can never interleave with a readmit of the
+// same block (CreateReader readmits under that lock too).
 func (s *Store) freeBlocks(blocks []BlockInfo) {
+	h := s.residencyHook()
 	for _, b := range blocks {
 		dt := s.data[b.Place]
 		dt.mu.Lock()
+		bd := dt.m[b]
 		delete(dt.m, b)
 		dt.mu.Unlock()
+		if bd == nil {
+			continue
+		}
+		if bd.spill != nil {
+			os.Remove(bd.spill.path)
+		}
+		if h != nil && bd.size > 0 {
+			h.BlockFreed(b, bd.size, bd.spill == nil)
+		}
 	}
 }
 
@@ -467,7 +547,11 @@ func (w *Writer) SetTag(tag string) { w.tag = tag }
 func (w *Writer) AppendAll(ps []wio.Pair) { w.pairs = append(w.pairs, ps...) }
 
 // Close installs the block into the store. The pairs slice is retained:
-// local readers alias it.
+// local readers alias it. With a residency hook installed, the block's
+// accounting size is computed (the record-format bytes it would occupy
+// spilled — the cost Hadoop always pays at collect time) and reported under
+// the path's entry lock, so a concurrent Delete can never report the free
+// before the commit; a hook error fails the Close.
 func (w *Writer) Close() (BlockInfo, error) {
 	if w.done {
 		return BlockInfo{}, fmt.Errorf("kvstore: writer for %s already closed", w.path)
@@ -478,6 +562,17 @@ func (w *Writer) Close() (BlockInfo, error) {
 	info := BlockInfo{Place: w.place, Seq: w.store.nextSeq, Tag: w.tag}
 	w.store.seqMu.Unlock()
 
+	h := w.store.residencyHook()
+	var size int64
+	if h != nil && len(w.pairs) > 0 {
+		// A block whose pairs cannot round-trip through the record format
+		// (unregistered types) stays unaccounted and pinned on the heap,
+		// exactly like an unencodable shuffle run.
+		if _, _, _, sz, err := encodeBlock(w.pairs); err == nil {
+			size = sz
+		}
+	}
+
 	unlock := w.store.lockPaths(w.path)
 	defer unlock()
 	m, ok := w.store.getMeta(w.path)
@@ -487,12 +582,26 @@ func (w *Writer) Close() (BlockInfo, error) {
 		m = &pathMeta{}
 		w.store.putMeta(w.path, m)
 	}
+	bd := &blockData{pairs: w.pairs, size: size}
 	dt := w.store.data[w.place]
 	dt.mu.Lock()
-	dt.m[info] = w.pairs
+	dt.m[info] = bd
 	dt.mu.Unlock()
 	m.blocks = append(m.blocks, info)
 	m.pairs += int64(len(w.pairs))
+	if h != nil && size > 0 {
+		if err := h.BlockCommitted(info, size); err != nil {
+			// The hook holds no reservation for the block; mark it
+			// unaccounted so the eventual free does not release bytes that
+			// were never charged, and surface the admission failure.
+			dt.mu.Lock()
+			if cur, ok := dt.m[info]; ok {
+				cur.size = 0
+			}
+			dt.mu.Unlock()
+			return BlockInfo{}, fmt.Errorf("kvstore: commit %s: %w", w.path, err)
+		}
+	}
 	return info, nil
 }
 
@@ -506,6 +615,10 @@ type Reader struct {
 
 // CreateReader opens block info of path for reading at place. Local reads
 // alias the stored pairs; remote reads serialize them across the transport.
+// A spilled block decodes back off disk here — reinstated resident when the
+// residency hook grants the bytes (the transparent readmit of a tiered
+// cache), served transiently otherwise, so reads always succeed while the
+// budget decides only where the block lives afterwards.
 func (s *Store) CreateReader(place int, path string, info BlockInfo) (*Reader, error) {
 	path = dfs.CleanPath(path)
 	unlock := s.lockPaths(path)
@@ -521,14 +634,18 @@ func (s *Store) CreateReader(place int, path string, info BlockInfo) (*Reader, e
 			break
 		}
 	}
-	unlock()
 	if !found {
+		unlock()
 		return nil, fmt.Errorf("kvstore: read %s: block %+v not present", path, info)
 	}
-	dt := s.data[info.Place]
-	dt.mu.Lock()
-	pairs := dt.m[info]
-	dt.mu.Unlock()
+	// The block fetch (and a possible readmit) happens under the path's
+	// entry lock: frees hold it too, so the spilled/resident state cannot
+	// change underneath the decode.
+	pairs, err := s.blockPairs(info)
+	unlock()
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read %s: %w", path, err)
+	}
 	if info.Place == place {
 		return &Reader{pairs: pairs}, nil
 	}
@@ -537,6 +654,158 @@ func (s *Store) CreateReader(place int, path string, info BlockInfo) (*Reader, e
 		return nil, err
 	}
 	return &Reader{pairs: res.Pairs, Remote: true}, nil
+}
+
+// blockPairs returns one block's pairs, decoding a spilled block back from
+// disk. The caller holds the owning path's entry lock.
+func (s *Store) blockPairs(info BlockInfo) ([]wio.Pair, error) {
+	dt := s.data[info.Place]
+	dt.mu.Lock()
+	bd := dt.m[info]
+	if bd == nil || bd.spill == nil {
+		var pairs []wio.Pair
+		if bd != nil {
+			pairs = bd.pairs
+		}
+		dt.mu.Unlock()
+		return pairs, nil
+	}
+	sp := *bd.spill
+	size := bd.size
+	dt.mu.Unlock()
+	pairs, err := decodeSpilledBlock(sp)
+	if err != nil {
+		return nil, fmt.Errorf("spilled block %+v: %w", info, err)
+	}
+	if h := s.residencyHook(); h != nil && size > 0 && h.RequestReadmit(info, size) {
+		installed := false
+		dt.mu.Lock()
+		if cur, ok := dt.m[info]; ok && cur.spill != nil {
+			cur.pairs = pairs
+			cur.spill = nil
+			installed = true
+		}
+		dt.mu.Unlock()
+		if installed {
+			os.Remove(sp.path)
+			h.ReadmitCommit(info, size)
+		} else {
+			// Unreachable under the path-lock discipline (frees and
+			// readmits serialize on the entry lock), kept so a future
+			// locking change cannot silently corrupt the ledger.
+			h.ReadmitAbort(info, size)
+		}
+	}
+	return pairs, nil
+}
+
+// SpillBlock moves a resident block's pairs to disk at path in the spill
+// record format (compressed per codec), freeing their heap space, and
+// returns the accounting size the move released — 0 when the block is
+// already spilled, unaccounted, or gone (freed concurrently; the partial
+// file is removed). The caller (the residency hook's eviction policy) owns
+// releasing the returned reservation. Takes only dataTable mutexes, so it
+// is safe to call from within BlockCommitted.
+func (s *Store) SpillBlock(info BlockInfo, path string, codec spill.Codec) (int64, error) {
+	dt := s.data[info.Place]
+	dt.mu.Lock()
+	bd := dt.m[info]
+	if bd == nil || bd.spill != nil || bd.size == 0 {
+		dt.mu.Unlock()
+		return 0, nil
+	}
+	pairs := bd.pairs
+	size := bd.size
+	dt.mu.Unlock()
+	recs, keyClass, valClass, _, err := encodeBlock(pairs)
+	if err != nil {
+		// Cannot happen for a block that encoded at commit (size > 0); fail
+		// loudly rather than silently skipping the victim.
+		return 0, fmt.Errorf("kvstore: re-encoding block %+v for spill: %w", info, err)
+	}
+	enc, err := spill.EncodeRun(recs, codec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := spill.WriteEncodedFile(path, enc); err != nil {
+		return 0, err
+	}
+	dt.mu.Lock()
+	cur, ok := dt.m[info]
+	if !ok || cur.spill != nil {
+		dt.mu.Unlock()
+		os.Remove(path)
+		return 0, nil
+	}
+	cur.pairs = nil
+	cur.spill = &spilledBlock{path: path, keyClass: keyClass, valClass: valClass}
+	dt.mu.Unlock()
+	return size, nil
+}
+
+// encodeBlock serializes a block's pairs into the shared spill record
+// format, returning the records, the key/value class names needed to decode
+// them, and the block's accounting size (the kvstore twin of the shuffle's
+// encodeRun).
+func encodeBlock(pairs []wio.Pair) ([]spill.Rec, string, string, int64, error) {
+	keyClass, err := wio.NameOf(pairs[0].Key)
+	if err != nil {
+		return nil, "", "", 0, err
+	}
+	valClass, err := wio.NameOf(pairs[0].Value)
+	if err != nil {
+		return nil, "", "", 0, err
+	}
+	recs := make([]spill.Rec, len(pairs))
+	var size int64
+	for i, p := range pairs {
+		kb, err := wio.Marshal(p.Key)
+		if err != nil {
+			return nil, "", "", 0, err
+		}
+		vb, err := wio.Marshal(p.Value)
+		if err != nil {
+			return nil, "", "", 0, err
+		}
+		recs[i] = spill.Rec{K: kb, V: vb}
+		size += recs[i].Size()
+	}
+	return recs, keyClass, valClass, size, nil
+}
+
+// decodeSpilledBlock reads a spilled block's records back into fresh
+// writables.
+func decodeSpilledBlock(sp spilledBlock) ([]wio.Pair, error) {
+	st, err := spill.OpenFile(sp.path)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	var pairs []wio.Pair
+	for {
+		rec, ok, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return pairs, nil
+		}
+		k, err := wio.New(sp.keyClass)
+		if err != nil {
+			return nil, err
+		}
+		if err := wio.Unmarshal(rec.K, k); err != nil {
+			return nil, err
+		}
+		v, err := wio.New(sp.valClass)
+		if err != nil {
+			return nil, err
+		}
+		if err := wio.Unmarshal(rec.V, v); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, wio.Pair{Key: k, Value: v})
+	}
 }
 
 // Next returns the next pair, or ok=false at the end.

@@ -31,6 +31,12 @@ type Options struct {
 	// job of its sequence; 0 inherits the M3R_ENGINE_SHUFFLE_BUDGET_BYTES
 	// environment default, negative forces no pool.
 	ShuffleBudgetBytes int64
+	// CacheBudgetBytes puts the M3R engine's inter-job KV cache under a
+	// per-place byte ceiling (conf.KeyM3RCacheBudget): cold entries spill
+	// largest-first to disk and readmit transparently on next access; 0
+	// inherits the M3R_CACHE_BUDGET_BYTES environment default, negative
+	// forces the unbounded cache.
+	CacheBudgetBytes int64
 	// Transport moves the M3R engine's cross-place shuffle frames; nil
 	// means the in-process loopback backend. The engine takes ownership.
 	Transport x10.Transport
@@ -120,6 +126,7 @@ func New(opts Options) (*Cluster, error) {
 		WorkersPerPlace:    opts.WorkersPerPlace,
 		Fallback:           he,
 		ShuffleBudgetBytes: opts.ShuffleBudgetBytes,
+		CacheBudgetBytes:   opts.CacheBudgetBytes,
 		Transport:          opts.Transport,
 		Stats:              stats,
 		Cost:               cost,

@@ -75,26 +75,34 @@ type CachedRange struct {
 // holds the split's complete pair sequence (PutSplit writes it in one
 // block), so exactly one block is read even if concurrent misses on the
 // same split raced their inserts.
-func (c *Cache) LookupSplit(name string, fileSplit *fileSplitView) ([]CachedRange, bool) {
+//
+// An error means the entry exists but cannot be mapped (a multi-block entry
+// with a missing or malformed pair-count tag): the hit must fail loudly
+// rather than silently serve a truncated split.
+func (c *Cache) LookupSplit(name string, fileSplit *fileSplitView) ([]CachedRange, bool, error) {
 	// Exact input-split entry.
 	sp := splitPath(name)
 	if info, ok := c.store.GetInfo(sp); ok && !info.Dir && len(info.Blocks) > 0 {
 		b := info.Blocks[0]
-		return []CachedRange{{Path: sp, Block: b, From: 0, To: -1}}, true
+		return []CachedRange{{Path: sp, Block: b, From: 0, To: -1}}, true, nil
 	}
 	if fileSplit == nil {
-		return nil, false
+		return nil, false, nil
 	}
 	// Output cache: the file was produced (and cached) by an earlier job.
 	info, ok := c.store.GetInfo(fileSplit.path)
 	if !ok || info.Dir || len(info.Blocks) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	if info.Attrs[attrCacheOnly] != "" {
 		// Cache-only files live in a synthetic "pair index" byte space
 		// (their FileStatus.Size is the pair count), so any split range
 		// maps exactly onto pair ranges across the blocks.
-		return pairRanges(fileSplit.path, info, fileSplit.start, fileSplit.start+fileSplit.length), true
+		ranges, err := pairRanges(fileSplit.path, info, fileSplit.start, fileSplit.start+fileSplit.length)
+		if err != nil {
+			return nil, false, err
+		}
+		return ranges, true, nil
 	}
 	// Disk-backed file: byte offsets do not map to pair indexes, so only a
 	// whole-file split can be served from the cache.
@@ -103,9 +111,9 @@ func (c *Cache) LookupSplit(name string, fileSplit *fileSplitView) ([]CachedRang
 		for _, b := range info.Blocks {
 			ranges = append(ranges, CachedRange{Path: fileSplit.path, Block: b, From: 0, To: -1})
 		}
-		return ranges, true
+		return ranges, true, nil
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // fileSplitView is the cache's view of a FileSplit.
@@ -117,32 +125,39 @@ type fileSplitView struct {
 }
 
 // pairRanges maps the pair-index interval [from, to) onto block ranges.
-func pairRanges(path string, info kvstore.PathInfo, from, to int64) []CachedRange {
+func pairRanges(path string, info kvstore.PathInfo, from, to int64) ([]CachedRange, error) {
 	var out []CachedRange
 	var off int64
 	for _, b := range info.Blocks {
-		n := blockPairs(info, b)
+		n, err := blockPairs(info, b)
+		if err != nil {
+			return nil, err
+		}
 		lo, hi := maxI64(from-off, 0), minI64(to-off, n)
 		if lo < hi {
 			out = append(out, CachedRange{Path: path, Block: b, From: lo, To: hi})
 		}
 		off += n
 	}
-	return out
+	return out, nil
 }
 
 // blockPairs returns one block's pair count. The store tracks only the
-// path total, so block sizes ride in the BlockInfo tag ("n=<count>").
-func blockPairs(info kvstore.PathInfo, b kvstore.BlockInfo) int64 {
+// path total, so block sizes ride in the BlockInfo tag ("n=<count>"). A
+// multi-block entry with a missing or malformed tag is a loud error — the
+// caller is about to map pair indexes onto blocks, and treating the block
+// as empty would silently drop its pairs from cached splits.
+func blockPairs(info kvstore.PathInfo, b kvstore.BlockInfo) (int64, error) {
 	var n int64
 	if _, err := fmt.Sscanf(b.Tag, "n=%d", &n); err == nil {
-		return n
+		return n, nil
 	}
 	// Single-block fallback.
 	if len(info.Blocks) == 1 {
-		return info.Pairs
+		return info.Pairs, nil
 	}
-	return 0
+	return 0, fmt.Errorf("m3r: cache entry %s: block seq=%d at place %d has missing or malformed pair-count tag %q (%d blocks)",
+		info.Path, b.Seq, b.Place, b.Tag, len(info.Blocks))
 }
 
 func maxI64(a, b int64) int64 {
@@ -305,21 +320,25 @@ func (it *pairIterator) Next() (wio.Pair, bool) {
 }
 
 // PathPairs returns all cached pairs for path, aliased from their home
-// blocks (used by cache queries, §4.2.4).
-func (c *Cache) PathPairs(path string) ([]wio.Pair, bool) {
+// blocks (used by cache queries, §4.2.4). ok=false means path is not a
+// cached file; a non-nil error is a real read failure on an entry that IS
+// cached (a block vanished under a racing delete, a spilled block failed to
+// decode) — distinct from a miss, so callers never mistake a broken read
+// for "not cached".
+func (c *Cache) PathPairs(path string) ([]wio.Pair, bool, error) {
 	info, ok := c.store.GetInfo(dfs.CleanPath(path))
 	if !ok || info.Dir {
-		return nil, false
+		return nil, false, nil
 	}
 	var out []wio.Pair
 	for _, b := range info.Blocks {
 		r, err := c.store.CreateReader(b.Place, dfs.CleanPath(path), b)
 		if err != nil {
-			return nil, false
+			return nil, false, fmt.Errorf("m3r: cache read %s: %w", path, err)
 		}
 		out = append(out, r.Pairs()...)
 	}
-	return out, true
+	return out, true, nil
 }
 
 // CachingFileSystem wraps the engine's backing filesystem and keeps the
@@ -471,7 +490,10 @@ func (f *CachingFileSystem) BlockLocations(path string, start, length int64) ([]
 	var out []dfs.BlockLocation
 	var off int64
 	for _, b := range info.Blocks {
-		n := blockPairs(info, b)
+		n, err := blockPairs(info, b)
+		if err != nil {
+			return nil, err
+		}
 		if off+n > start && off < start+length {
 			out = append(out, dfs.BlockLocation{
 				Offset: off,
@@ -490,19 +512,28 @@ func (f *CachingFileSystem) GetRawCache() dfs.FileSystem {
 	return &rawCacheFS{cache: f.cache, rt: f.rt}
 }
 
-// GetCacheRecordReader implements hmrext.CacheFS (§4.2.4).
-func (f *CachingFileSystem) GetCacheRecordReader(path string) (hmrext.PairIterator, bool) {
-	pairs, ok := f.cache.PathPairs(path)
-	if !ok {
-		return nil, false
+// GetCacheRecordReader implements hmrext.CacheFS (§4.2.4). ok=false is a
+// cache miss; a non-nil error is a real read failure on a cached entry.
+func (f *CachingFileSystem) GetCacheRecordReader(path string) (hmrext.PairIterator, bool, error) {
+	pairs, ok, err := f.cache.PathPairs(path)
+	if err != nil {
+		return nil, false, err
 	}
-	return &pairIterator{pairs: pairs}, true
+	if !ok {
+		return nil, false, nil
+	}
+	return &pairIterator{pairs: pairs}, true, nil
 }
 
 // CacheOutput implements mapred.OutputCacher: library code (e.g.
-// MultipleOutputs) installs file contents it wrote record-by-record.
-func (f *CachingFileSystem) CacheOutput(path string, pairs []wio.Pair) error {
-	w, err := f.cache.NewOutputWriter(0, path, false)
+// MultipleOutputs) installs file contents it wrote record-by-record. The
+// entry's blocks are homed at the writing task's place, preserving block
+// homing and partition stability for side files exactly as for main output.
+func (f *CachingFileSystem) CacheOutput(place int, path string, pairs []wio.Pair) error {
+	if place < 0 || place >= f.rt.NumPlaces() {
+		return fmt.Errorf("m3r: cache output %s: place %d out of range (%d places)", path, place, f.rt.NumPlaces())
+	}
+	w, err := f.cache.NewOutputWriter(place, path, false)
 	if err != nil {
 		return err
 	}
@@ -572,7 +603,10 @@ func (r *rawCacheFS) BlockLocations(path string, start, length int64) ([]dfs.Blo
 	var out []dfs.BlockLocation
 	var off int64
 	for _, b := range info.Blocks {
-		n := blockPairs(info, b)
+		n, err := blockPairs(info, b)
+		if err != nil {
+			return nil, err
+		}
 		if off+n > start && off < start+length {
 			out = append(out, dfs.BlockLocation{Offset: off, Length: n,
 				Hosts: []string{r.rt.Place(b.Place).Host()}})

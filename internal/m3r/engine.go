@@ -45,6 +45,16 @@ type Options struct {
 	// environment default; negative forces no pool even when the
 	// environment sets one.
 	ShuffleBudgetBytes int64
+	// CacheBudgetBytes, when positive, puts the inter-job key/value cache
+	// under per-place pool accounting (conf.KeyM3RCacheBudget): committed
+	// cache blocks reserve their byte footprint under a cache-scoped tag —
+	// within the engine's shuffle pool when one is configured, else in
+	// private per-place cache pools — and under contention cold entries
+	// spill largest-first to disk, readmitting transparently on next
+	// access. Zero falls back to the M3R_CACHE_BUDGET_BYTES environment
+	// default; negative forces the unbounded cache even when the
+	// environment sets one. Job output is byte-identical at every setting.
+	CacheBudgetBytes int64
 	// Transport moves cross-place shuffle frames; nil means the in-process
 	// loopback backend. The engine's runtime takes ownership: Close closes
 	// it.
@@ -76,6 +86,12 @@ type Engine struct {
 	// behavior.
 	pools []*engine.BudgetPool
 
+	// cacheGov, when non-nil, is the budgeted cache's admission/eviction
+	// governor (Options.CacheBudgetBytes / conf.KeyM3RCacheBudget),
+	// installed as the kvstore's residency hook. Nil means the unbounded
+	// in-memory cache, the paper's design point.
+	cacheGov *cacheGovernor
+
 	mu     sync.Mutex
 	jobSeq int
 	closed bool
@@ -106,6 +122,29 @@ func New(opts Options) (*Engine, error) {
 			pools[p] = engine.NewBudgetPool(b)
 		}
 	}
+	var gov *cacheGovernor
+	if b := cacheBudgetBytes(opts.CacheBudgetBytes); b > 0 {
+		// Cache entries spill in the shared spill record format; the codec
+		// follows the engine-wide environment default (the per-job key
+		// cannot apply: entries outlive jobs).
+		codec, err := spill.ParseCodec(os.Getenv("M3R_SPILL_CODEC"))
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("m3r: cache budget: %w", err)
+		}
+		budgets := make([]*engine.JobBudget, rt.NumPlaces())
+		for p := range budgets {
+			if pools != nil {
+				// Pooled engine: cache reservations share the place's pool
+				// with the jobs' shuffle tags, capped at the cache budget.
+				budgets[p] = pools[p].Job(cacheTag, b)
+			} else {
+				budgets[p] = engine.NewBudgetPool(b).Job(cacheTag, 0)
+			}
+		}
+		gov = newCacheGovernor(opts.Stats, cache.Store(), budgets, codec)
+		cache.Store().SetResidency(gov)
+	}
 	return &Engine{
 		rt:       rt,
 		cache:    cache,
@@ -115,6 +154,7 @@ func New(opts Options) (*Engine, error) {
 		cost:     cost,
 		fallback: opts.Fallback,
 		pools:    pools,
+		cacheGov: gov,
 	}, nil
 }
 
@@ -128,6 +168,23 @@ func poolBudgetBytes(opt int64) int64 {
 		return opt
 	}
 	if v := os.Getenv("M3R_ENGINE_SHUFFLE_BUDGET_BYTES"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// cacheBudgetBytes resolves the per-place cache budget the same way: an
+// explicit option wins (negative = unbounded, even under the env default),
+// otherwise the M3R_CACHE_BUDGET_BYTES environment default applies — how
+// CI's tight-cache leg drives whole example suites through the cache
+// spill/readmit tier without every test knowing about the budget.
+func cacheBudgetBytes(opt int64) int64 {
+	if opt != 0 {
+		return opt
+	}
+	if v := os.Getenv("M3R_CACHE_BUDGET_BYTES"); v != "" {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
 			return n
 		}
@@ -164,15 +221,56 @@ func (e *Engine) ShufflePoolLimitBytes() int64 {
 }
 
 // ShufflePoolHeldBytes sums the bytes currently reserved across the engine
-// pool's places (0 when unpooled). Between jobs of a healthy sequence it is
-// exactly zero: every job's cleanup drains its reservations, which the
-// server-mode equivalence tests pin.
+// pool's places (0 when unpooled) by jobs — the engine-lifetime cache tag's
+// reservations are excluded, since cache entries legitimately stay resident
+// across job boundaries. Between jobs of a healthy sequence it is exactly
+// zero: every job's cleanup drains its reservations, which the server-mode
+// equivalence tests pin.
 func (e *Engine) ShufflePoolHeldBytes() int64 {
 	var held int64
 	for _, p := range e.pools {
-		held += p.Held()
+		held += p.Held() - p.JobHeld(cacheTag)
 	}
 	return held
+}
+
+// CachePoolHeldBytes sums the bytes the cache tag holds reserved across
+// places (0 when the cache is unbudgeted). At quiescence it equals
+// CacheResidentBytes — the ledger invariant the accounting tests pin after
+// every job, success and failure alike — and it drains to zero as entries
+// are dropped or the engine closes.
+func (e *Engine) CachePoolHeldBytes() int64 {
+	if e.cacheGov == nil {
+		return 0
+	}
+	return e.cacheGov.heldBytes()
+}
+
+// CacheResidentBytes returns the bytes of cache blocks currently resident
+// under the cache budget (0 when unbudgeted).
+func (e *Engine) CacheResidentBytes() int64 {
+	if e.cacheGov == nil {
+		return 0
+	}
+	return e.cacheGov.residentBytes()
+}
+
+// CacheSpilledEntries returns the cumulative count of cache blocks the
+// budget moved to disk (evictions and commit-time overflow).
+func (e *Engine) CacheSpilledEntries() int64 {
+	if e.cacheGov == nil {
+		return 0
+	}
+	return e.cacheGov.spilledCount()
+}
+
+// CacheReadmittedEntries returns the cumulative count of spilled cache
+// blocks promoted back to memory by a later read.
+func (e *Engine) CacheReadmittedEntries() int64 {
+	if e.cacheGov == nil {
+		return 0
+	}
+	return e.cacheGov.readmittedCount()
 }
 
 // Close implements engine.Engine.
@@ -181,6 +279,13 @@ func (e *Engine) Close() error {
 	defer e.mu.Unlock()
 	if !e.closed {
 		e.closed = true
+		if e.cacheGov != nil {
+			// Detach the hook first so nothing spills or readmits during
+			// teardown, then drain every cache reservation and remove the
+			// cache spill directory.
+			e.cache.Store().SetResidency(nil)
+			e.cacheGov.close()
+		}
 		dfs.DropInstance(e.fsID)
 		return e.rt.Close()
 	}
@@ -270,6 +375,14 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 	// through its consumer.
 	x.mergeCfg.Lifecycle = lc
 	defer x.cleanup()
+	// Budgeted-cache tiering counters are per-job deltas of the governor's
+	// engine-lifetime totals; snapshot before planning (a cache lookup can
+	// already readmit a spilled entry).
+	var cacheSpilled0, cacheReadmitted0 int64
+	if e.cacheGov != nil {
+		cacheSpilled0 = e.cacheGov.spilledCount()
+		cacheReadmitted0 = e.cacheGov.readmittedCount()
+	}
 	// Budget admission: on a pooled engine every job is budgeted (the
 	// per-job key, when set, caps the job within the pool; an explicit
 	// non-positive value opts the job out entirely). On an unpooled engine
@@ -311,7 +424,10 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 	if err != nil {
 		return nil, err
 	}
-	assignments := x.plan(splits)
+	assignments, err := x.plan(splits)
+	if err != nil {
+		return nil, err
+	}
 
 	for i := 0; i < rj.NumReducers; i++ {
 		x.parts = append(x.parts, &partitionInput{x: x, place: e.PlaceOfPartition(i)})
@@ -329,6 +445,16 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 		// space behind on the (caching) filesystem.
 		if x.writeOutput {
 			x.committer.AbortJob(job)
+		}
+		// Reduce tasks that finished before the failure already committed
+		// their output files into the cache; the job's output never becomes
+		// visible, so those entries must not either. Dropping them also
+		// drains their cache-pool reservations — a failed job must not
+		// bleed cache budget any more than shuffle budget. (The failover
+		// path below drops again before deleting the on-disk droppings;
+		// Drop is idempotent.)
+		if outPath != "" && x.cacheEnabled {
+			e.cache.Drop(outPath)
 		}
 		if cause := lc.Err(); cause != nil {
 			// Cancelled: tasks unwinding concurrently may surface secondary
@@ -371,6 +497,11 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 			x.committer.AbortJob(job)
 			return nil, err
 		}
+	}
+	if e.cacheGov != nil {
+		x.jc.Find(counters.M3RGroup, counters.CacheResidentBytes).SetValue(e.cacheGov.residentBytes())
+		x.jc.Find(counters.M3RGroup, counters.CacheSpilledEntries).SetValue(e.cacheGov.spilledCount() - cacheSpilled0)
+		x.jc.Find(counters.M3RGroup, counters.CacheReadmittedEntries).SetValue(e.cacheGov.readmittedCount() - cacheReadmitted0)
 	}
 	engine.NotifyJobEnd(job, jobID)
 	return &engine.Report{
@@ -551,8 +682,10 @@ type mapAssignment struct {
 
 // plan assigns every split to a place: cache blocks pin cached splits
 // (§3.2.1), PlacedSplits pin to their partition's stable place (§4.3),
-// HDFS locality pins file splits, and everything else round-robins.
-func (x *jobExec) plan(splits []formats.InputSplit) []*mapAssignment {
+// HDFS locality pins file splits, and everything else round-robins. A
+// corrupt cache entry (blockPairs) fails the plan loudly instead of
+// quietly dropping pairs from a cached split.
+func (x *jobExec) plan(splits []formats.InputSplit) ([]*mapAssignment, error) {
 	e := x.e
 	P := e.rt.NumPlaces()
 	rr := 0
@@ -562,7 +695,11 @@ func (x *jobExec) plan(splits []formats.InputSplit) []*mapAssignment {
 		out = append(out, a)
 		if x.cacheEnabled {
 			if name, ok := formats.SplitName(s); ok {
-				if ranges, hit := e.cache.LookupSplit(name, fileSplitViewOf(e.cfs, s)); hit && len(ranges) > 0 {
+				ranges, hit, err := e.cache.LookupSplit(name, fileSplitViewOf(e.cfs, s))
+				if err != nil {
+					return nil, err
+				}
+				if hit && len(ranges) > 0 {
 					a.cached, a.hit = ranges, true
 					a.place = ranges[0].Block.Place
 					continue
@@ -586,7 +723,7 @@ func (x *jobExec) plan(splits []formats.InputSplit) []*mapAssignment {
 			rr++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // fileSplitViewOf unwraps delegating splits down to a FileSplit and builds
@@ -714,6 +851,10 @@ func (x *jobExec) runMapTask(a *mapAssignment) (err error) {
 		}
 	}()
 	taskJob := x.job.CloneJob()
+	// Place-aware output plumbing (MultipleOutputs side files through the
+	// cache) homes blocks at the writing task's place.
+	taskJob.Set(conf.KeyM3RTaskPlace, strconv.Itoa(a.place))
+	taskJob.Set(conf.KeyTaskPartition, strconv.Itoa(a.index))
 	taskID := fmt.Sprintf("attempt_%s_m_%06d_0", x.jobID, a.index)
 	ctx := engine.NewTaskContext(taskJob, taskID, a.split)
 	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedMaps, 1)
@@ -931,6 +1072,15 @@ func (pi *partitionInput) addRun(ctx *engine.TaskContext, src int, pairs []wio.P
 		pi.install(&sourceRun{src: src, pairs: pairs})
 		return nil
 	}
+	return pi.admitEncodedRun(ctx, src, pairs, recs, keyClass, valClass, size)
+}
+
+// admitEncodedRun runs the per-run admission path for an already encoded
+// run: the place's pool decides admission (with the largest-first eviction
+// loop under contention), and a run the pool cannot admit spills to disk.
+func (pi *partitionInput) admitEncodedRun(ctx *engine.TaskContext, src int, pairs []wio.Pair,
+	recs []spill.Rec, keyClass, valClass string, size int64) error {
+	x := pi.x
 	admitted, contended, err := x.budgets[pi.place].ReserveEvicting(size, func(min int64) (int64, error) {
 		return x.evictLargest(ctx, pi.place, min)
 	})
@@ -981,6 +1131,62 @@ func (x *jobExec) chargeSpill(ctx *engine.TaskContext, enc spill.EncodedRun, nre
 	e.stats.Add(sim.SpillRawBytes, enc.Raw)
 	e.stats.Add(sim.SpillFiles, 1)
 	e.cost.ChargeDisk(e.stats, stored)
+}
+
+// installRuns installs one map task's whole flush toward place — its sorted
+// run per partition, every partition living at that place — with batch
+// admission: on a budgeted job the task's total encoded size is reserved in
+// one pool transaction when it fits, installing every run resident with a
+// single lock round instead of one admission (and one potential eviction
+// loop) per partition. When the batch does not fit in one piece — or the
+// job is unbudgeted — each run falls through to the per-run path.
+func (x *jobExec) installRuns(ctx *engine.TaskContext, place, src int, runs map[int][]wio.Pair) error {
+	if x.budgets == nil {
+		for q, pairs := range runs {
+			if len(pairs) == 0 {
+				continue
+			}
+			x.parts[q].install(&sourceRun{src: src, pairs: pairs})
+		}
+		return nil
+	}
+	type encodedRun struct {
+		q                  int
+		pairs              []wio.Pair
+		recs               []spill.Rec
+		keyClass, valClass string
+		size               int64
+	}
+	encs := make([]encodedRun, 0, len(runs))
+	var total int64
+	for q, pairs := range runs {
+		if len(pairs) == 0 {
+			continue
+		}
+		recs, keyClass, valClass, size, err := encodeRun(pairs)
+		if err != nil {
+			// Unencodable runs live on the heap, unaccounted (see addRun).
+			x.parts[q].install(&sourceRun{src: src, pairs: pairs})
+			continue
+		}
+		encs = append(encs, encodedRun{q, pairs, recs, keyClass, valClass, size})
+		total += size
+	}
+	if len(encs) > 1 && x.budgets[place].Reserve(total) {
+		for _, er := range encs {
+			r := &sourceRun{src: src, pairs: er.pairs, size: er.size}
+			pi := x.parts[er.q]
+			pi.install(r)
+			x.resident[place].add(r, pi)
+		}
+		return nil
+	}
+	for _, er := range encs {
+		if err := x.parts[er.q].admitEncodedRun(ctx, src, er.pairs, er.recs, er.keyClass, er.valClass, er.size); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (pi *partitionInput) install(r *sourceRun) {
@@ -1118,6 +1324,8 @@ func (x *jobExec) runReduceTask(q int) (err error) {
 	}()
 	place := e.PlaceOfPartition(q)
 	taskJob := x.job.CloneJob()
+	taskJob.Set(conf.KeyM3RTaskPlace, strconv.Itoa(place))
+	taskJob.Set(conf.KeyTaskPartition, strconv.Itoa(q))
 	taskID := fmt.Sprintf("attempt_%s_r_%06d_0", x.jobID, q)
 	ctx := engine.NewTaskContext(taskJob, taskID, nil)
 	ctx.IncrCounter(counters.JobGroup, counters.TotalLaunchedReduces, 1)

@@ -223,11 +223,13 @@ func (sc *shuffleCollector) flush() error {
 	// combiners keep Combine's sort order) and the stable sort degenerates
 	// to a cheap verification pass.
 	sortCmp := sc.x.rj.SortCmp
-	for q, pairs := range sc.localBufs {
+	for _, pairs := range sc.localBufs {
 		engine.SortPairs(pairs, sortCmp)
-		if err := sc.x.parts[q].addRun(sc.ctx, sc.src, pairs); err != nil {
-			return err
-		}
+	}
+	// Batch admission: the whole flush reserves against the place's pool in
+	// one transaction when it fits, one run at a time otherwise.
+	if err := sc.x.installRuns(sc.ctx, sc.place, sc.src, sc.localBufs); err != nil {
+		return err
 	}
 	sc.localBufs = nil
 
@@ -288,13 +290,12 @@ func (sc *shuffleCollector) shipRemote(d int, de *destEncoder) error {
 		byPartition[q] = append(byPartition[q], pair)
 	}
 	sortCmp := sc.x.rj.SortCmp
-	for q, pairs := range byPartition {
+	for _, pairs := range byPartition {
 		engine.SortPairs(pairs, sortCmp)
-		if err := sc.x.parts[q].addRun(sc.ctx, sc.src, pairs); err != nil {
-			return err
-		}
 	}
-	return nil
+	// Every partition in this frame lives at place d; admit the decoded
+	// batch against d's pool in one transaction when it fits.
+	return sc.x.installRuns(sc.ctx, d, sc.src, byPartition)
 }
 
 // abort releases the collector's pooled resources after a failed task:

@@ -25,9 +25,12 @@ const (
 
 // OutputCacher is implemented by filesystems that maintain a key/value
 // cache alongside file data (M3R's caching filesystem). Library code that
-// writes files record-by-record uses it to keep the cache coherent.
+// writes files record-by-record uses it to keep the cache coherent. place
+// is the writing task's place (conf.KeyM3RTaskPlace), so the cached entry's
+// blocks are homed where the task ran — preserving block homing and
+// partition stability for side files exactly as for main output.
 type OutputCacher interface {
-	CacheOutput(path string, pairs []wio.Pair) error
+	CacheOutput(place int, path string, pairs []wio.Pair) error
 }
 
 // AddNamedOutput declares a named output with its format and types.
@@ -144,7 +147,10 @@ func (mo *MultipleOutputs) Close() error {
 			continue
 		}
 		if cacher, ok := fs.(OutputCacher); ok {
-			if err := cacher.CacheOutput(mo.paths[name], mo.cached[name]); err != nil && firstErr == nil {
+			// The engine stamps the executing task's place into the
+			// task-scoped conf; default 0 covers engines without places.
+			place := mo.job.GetInt(conf.KeyM3RTaskPlace, 0)
+			if err := cacher.CacheOutput(place, mo.paths[name], mo.cached[name]); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -110,6 +110,11 @@ const (
 	CacheHits            = "cache.hits"          // splits served from the KV cache
 	CacheMisses          = "cache.misses"        // splits read from the filesystem
 	CacheWrites          = "cache.writes"        // output blocks written to the cache
+	// Budgeted-cache tiering (the cache-scoped pool tag): resident.bytes is
+	// a gauge (admits minus departures), the entry counts are events.
+	CacheResidentBytes     = "cache.resident.bytes"     // bytes of cache blocks resident under the budget
+	CacheSpilledEntries    = "cache.spilled.entries"    // cache blocks moved to disk (evictions + overflow)
+	CacheReadmittedEntries = "cache.readmitted.entries" // spilled cache blocks promoted back to memory
 	SpillBytes           = "spill.bytes"         // bytes written to spill files (compressed when a codec is set)
 	SpillRawBytes        = "spill.raw.bytes"     // raw record-format bytes of the same spills (ratio = bytes/raw)
 	SpillFiles           = "spill.files"         // number of spill files

@@ -455,7 +455,10 @@ func ReadBlocks(fs dfs.FileSystem, path string) (map[matrix.BlockKey]*Block, err
 			if !ok {
 				return nil, err
 			}
-			it, ok := cfs.GetCacheRecordReader(f.Path)
+			it, ok, cerr := cfs.GetCacheRecordReader(f.Path)
+			if cerr != nil {
+				return nil, cerr
+			}
 			if !ok {
 				return nil, err
 			}
