@@ -35,13 +35,17 @@ const (
 
 	KeyNumMapTasks           = "mapred.map.tasks" // hint, as in Hadoop
 	KeySortMB                = "io.sort.mb"
+	KeySortBytes             = "io.sort.bytes" // byte-granularity override of io.sort.mb (tests force spills with it)
 	KeyMaxMapAttempts        = "mapred.map.max.attempts"
 	KeyMaxReduceAttempts     = "mapred.reduce.max.attempts"
 	KeyFSInstance            = "fs.instance.id" // which registered FileSystem to use
 	KeyJobEndNotificationURL = "job.end.notification.url"
 	KeyJobQueueName          = "mapred.job.queue.name"
 	KeyDistributedCacheFiles = "mapred.cache.files"
-	KeySpeculative           = "mapred.map.tasks.speculative.execution"
+	// KeyDistributedCacheLocalFiles is set by the engine for tasks: the
+	// localized paths of KeyDistributedCacheFiles, as Hadoop exposes them.
+	KeyDistributedCacheLocalFiles = "mapred.cache.localFiles"
+	KeySpeculative                = "mapred.map.tasks.speculative.execution"
 
 	// M3R extensions (§4).
 	KeyTempPrefix  = "m3r.temp.output.prefix" // default "temp"
@@ -49,6 +53,10 @@ const (
 	KeyForceHadoop = "m3r.job.force.hadoop"   // submit this job to Hadoop even under M3R
 	KeyM3RDedup    = "m3r.shuffle.dedup"      // default true
 	KeyM3RCache    = "m3r.cache.enabled"      // default true
+	// KeyM3RCacheOnly marks an output-cache attribute set (§4.2): a path
+	// written with it skips the backing filesystem and lives only in the
+	// in-memory cache.
+	KeyM3RCacheOnly = "m3r.cacheonly"
 	// KeyM3RShuffleBudget bounds, per place, the bytes of shuffled runs one
 	// job keeps resident (in the Hadoop engine's record-size accounting);
 	// runs beyond it spill to disk in the shared spill record format and

@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"testing"
+
+	"m3r/internal/lint/leakcheck"
+)
+
+// TestMain fails the package when staged-merge workers or lifecycle
+// watchers outlive the tests (ROADMAP "Static analysis").
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -51,8 +51,8 @@ func (r *jobRun) runMapTask(t *pendingTask, node string, attempt int) (err error
 
 	// The sort buffer bound follows Hadoop's io.sort.mb; io.sort.bytes
 	// overrides it at byte granularity (tests use it to force spills).
-	limit := int64(taskJob.GetInt("io.sort.mb", 4)) << 20
-	if v := taskJob.GetInt64("io.sort.bytes", 0); v > 0 {
+	limit := int64(taskJob.GetInt(conf.KeySortMB, 4)) << 20
+	if v := taskJob.GetInt64(conf.KeySortBytes, 0); v > 0 {
 		limit = v
 	}
 	buf := &sortBuffer{
@@ -347,6 +347,13 @@ func (b *sortBuffer) finish(taskIndex int, node string) (*mapOutput, error) {
 		}
 		sw := spill.NewSegmentWriter(w, b.run.spillCodec)
 		for {
+			// Per-record cancel check: the on-disk merge re-reads every spilled
+			// byte, so a killed job must not keep paying for it.
+			if err := b.run.lc.Err(); err != nil {
+				m.Close()
+				f.Close()
+				return nil, err
+			}
 			r, ok, err := m.Next()
 			if err != nil {
 				m.Close()

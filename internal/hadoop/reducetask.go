@@ -233,6 +233,12 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 		return err
 	}
 	for ok {
+		// Per-group cancel check; values consumed by the reducer poll again
+		// through the output collector, and the drain loop below covers
+		// groups the reducer abandons early.
+		if err := r.lc.Err(); err != nil {
+			return err
+		}
 		groupKey, err := newKey(cur.K)
 		if err != nil {
 			return err
@@ -248,8 +254,12 @@ func (r *jobRun) driveGroupedReduce(m *merger, reducer engine.ReduceRun,
 			return err
 		}
 		// Drain any values the reducer did not consume so the next group
-		// starts at a group boundary.
+		// starts at a group boundary. A kill lands at the next drained value:
+		// an unbounded group cannot pin a killed task.
 		for {
+			if err := r.lc.Err(); err != nil {
+				return err
+			}
 			if _, more := it.Next(); !more {
 				break
 			}

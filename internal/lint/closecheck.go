@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Closecheck enforces the stream close obligation: a closeable value
+// obtained from an opener (spill.OpenFile/OpenSegment, run readers,
+// scratch writers, os files) must be closed in the function that opened
+// it or handed off — passed to another call (engine.CloseAllOnErr, append
+// into a tracked slice), returned, or stored into a longer-lived
+// structure. A value that neither closes nor escapes is a leaked stream:
+// exactly what the runtime OpenStreamCount baselines catch, but on every
+// path instead of only exercised ones.
+var Closecheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "closeable values from openers must be closed or handed off on all paths",
+	Run:  runClosecheck,
+}
+
+func runClosecheck(pass *Pass) []Diag {
+	var diags []Diag
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		parents := parentMap(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, idx := openerCall(info, call); fn != nil && len(idx) > 0 {
+					diags = append(diags, Diag{Pos: call.Pos(), Message: fmt.Sprintf(
+						"closeable result of %s discarded; it must be closed", fn.Name())})
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, idx := openerCall(info, call)
+				if fn == nil {
+					return true
+				}
+				for _, i := range idx {
+					if i >= len(st.Lhs) {
+						continue
+					}
+					id, ok := st.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // stored through a selector/index: escapes
+					}
+					if id.Name == "_" {
+						diags = append(diags, Diag{Pos: id.Pos(), Message: fmt.Sprintf(
+							"closeable result of %s assigned to _; it must be closed", fn.Name())})
+						continue
+					}
+					obj := identObj(info, id)
+					if obj == nil {
+						continue
+					}
+					if !discharged(info, parents, fd, id, obj) {
+						diags = append(diags, Diag{Pos: id.Pos(), Message: fmt.Sprintf(
+							"%s obtained from %s is never closed and never leaves this function; close it on all paths or hand it to engine.CloseAllOnErr",
+							id.Name, fn.Name())})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// openerCall reports whether call statically invokes an opener — a module
+// (or os) function whose name starts with open/new/create/get and which
+// returns at least one closeable — along with the closeable result
+// indices.
+func openerCall(info *types.Info, call *ast.CallExpr) (*types.Func, []int) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	path := fn.Pkg().Path()
+	if !isModulePath(path) && path != "os" {
+		return nil, nil
+	}
+	name := strings.ToLower(fn.Name())
+	if !strings.HasPrefix(name, "open") && !strings.HasPrefix(name, "new") &&
+		!strings.HasPrefix(name, "create") && !strings.HasPrefix(name, "get") {
+		return nil, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		rt := sig.Results().At(i).Type()
+		if rt.String() == "error" {
+			continue
+		}
+		if hasCloseError(rt) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	return fn, idx
+}
+
+// discharged reports whether some use of obj within fd closes it or lets
+// it escape the function. The analysis is flow-insensitive by design: any
+// Close call or escape anywhere in the function discharges the
+// obligation, so conditional cleanup (defer, error-path CloseAllOnErr)
+// passes without path enumeration.
+func discharged(info *types.Info, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, def *ast.Ident, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || info.Uses[id] != obj {
+			return true
+		}
+		if useDischarges(parents, id) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// useDischarges classifies one use of a tracked value by walking up its
+// parent chain: a Close method call discharges it, and any handoff —
+// call argument, return, send, composite literal, or aliasing assignment —
+// escapes it. Plain reads (other method calls, comparisons, range) keep
+// the obligation alive.
+func useDischarges(parents map[ast.Node]ast.Node, use *ast.Ident) bool {
+	var node ast.Node = use
+	for {
+		switch p := parents[node].(type) {
+		case *ast.SelectorExpr:
+			if p.X != node {
+				return false
+			}
+			if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+				// A method call on the value: only Close discharges.
+				return p.Sel.Name == "Close"
+			}
+			// Field access or method value: keep walking up (a method
+			// value passed to a call escapes via the CallExpr case).
+			node = p
+		case *ast.CallExpr:
+			// The value (or an expression containing it) is an argument:
+			// ownership is handed to the callee (CloseAllOnErr, append,
+			// a wrapping reader).
+			return node != p.Fun
+		case *ast.ReturnStmt:
+			return true
+		case *ast.SendStmt:
+			return p.Value == node
+		case *ast.CompositeLit:
+			return true
+		case *ast.AssignStmt:
+			for _, r := range p.Rhs {
+				if r == node {
+					// Aliased into other variables — unless every target is
+					// blank, in which case nothing new can close it.
+					for _, l := range p.Lhs {
+						if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+							return true
+						}
+					}
+					return false
+				}
+			}
+			return false
+		case *ast.UnaryExpr, *ast.ParenExpr, *ast.KeyValueExpr, *ast.IndexExpr, *ast.TypeAssertExpr:
+			node = p
+		default:
+			return false
+		}
+	}
+}

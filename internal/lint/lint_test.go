@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader builds one Loader per test binary: NewLoader primes the
+// whole module's export data, which is the expensive step.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(wd)
+})
+
+func loaderFor(t *testing.T) *Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// runFixture loads testdata/src/<dir> as a fixture package, runs the
+// analyzer suite over it, and compares the diagnostics 1:1 against the
+// file's // want expectations — the hand-rolled analysistest.
+func runFixture(t *testing.T, dirs ...string) {
+	t.Helper()
+	l := loaderFor(t)
+	canon, err := l.Canon()
+	if err != nil {
+		t.Fatalf("Canon: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.LoadDir(filepath.Join(l.ModRoot, "internal/lint/testdata/src", dir), "fixtures/"+dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags := Run(pkgs, All(), canon)
+	checkWants(t, pkgs, diags)
+}
+
+// wantRe extracts the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type want struct {
+	file     string
+	line     int
+	re       *regexp.Regexp
+	consumed bool
+}
+
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(rest, -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.consumed && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.consumed {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestClosecheckFixtures(t *testing.T)   { runFixture(t, "closecheck") }
+func TestReservecheckFixtures(t *testing.T) { runFixture(t, "reservecheck", "reservecheck_drain") }
+func TestKeycheckFixtures(t *testing.T)     { runFixture(t, "keycheck") }
+func TestLoopcancelFixtures(t *testing.T)   { runFixture(t, "loopcancel") }
+func TestRawcmpFixtures(t *testing.T)       { runFixture(t, "rawcmp") }
+
+// TestMalformedIgnoreDirective checks that a bad escape hatch is itself a
+// diagnostic: a directive that cannot suppress must not vanish silently.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+func f() int {
+	//lint:ignore closecheck
+	x := 1
+	//lint:ignore nosuchanalyzer because reasons
+	x++
+	//lint:ignore keycheck justified suppression of nothing
+	return x
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := loaderFor(t)
+	p, err := l.LoadDir(dir, "fixtures/scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{p}, All(), nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed ignore directive") {
+		t.Errorf("diag 0 = %s, want malformed directive", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("diag 1 = %s, want unknown analyzer", diags[1])
+	}
+}
+
+// TestTreeIsClean runs the full suite over the real module: the
+// acceptance gate CI enforces, as a test.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	l := loaderFor(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	canon, err := l.Canon()
+	if err != nil {
+		t.Fatalf("Canon: %v", err)
+	}
+	var msgs []string
+	for _, d := range Run(pkgs, All(), canon) {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Errorf("m3rlint is not clean on the tree:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestCanon spot-checks the canonical fact tables against constants every
+// analyzer depends on.
+func TestCanon(t *testing.T) {
+	l := loaderFor(t)
+	canon, err := l.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for val, owner := range map[string]string{
+		"io.sort.mb":               "conf.KeySortMB",
+		"m3r.shuffle.budget.bytes": "conf.KeyM3RShuffleBudget",
+		"m3r.cacheonly":            "conf.KeyM3RCacheOnly",
+		"mapred.multipleoutputs":   "mapred.KeyMultipleOutputs",
+	} {
+		if got := canon.ConfKeys[val]; got != owner {
+			t.Errorf("ConfKeys[%q] = %q, want %q", val, got, owner)
+		}
+	}
+	if got := canon.CounterNames["TOTAL_LAUNCHED_MAPS"]; got != "counters.TotalLaunchedMaps" {
+		t.Errorf("CounterNames[TOTAL_LAUNCHED_MAPS] = %q", got)
+	}
+	if len(canon.CounterGroups) < 3 {
+		t.Errorf("CounterGroups = %v, want at least Task/Job/M3R groups", canon.CounterGroups)
+	}
+}
+
+// TestDiagnosticFormat pins the file:line:col output contract the CI job
+// greps and humans click.
+func TestDiagnosticFormat(t *testing.T) {
+	l := loaderFor(t)
+	p, err := l.LoadDir(filepath.Join(l.ModRoot, "internal/lint/testdata/src", "rawcmp"), "fixtures/rawcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{p}, All(), nil)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from rawcmp fixture")
+	}
+	d := diags[0].String()
+	re := regexp.MustCompile(`testdata/src/rawcmp/rawcmp\.go:\d+:\d+: .+ \(rawcmp\)$`)
+	if !re.MatchString(d) {
+		t.Errorf("diagnostic %q does not match file:line:col: message (analyzer)", d)
+	}
+}

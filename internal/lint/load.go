@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package under analysis: syntax plus full type
+// information, the unit every analyzer consumes.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader typechecks module packages from source while importing their
+// dependencies — stdlib and module alike — from the toolchain's export
+// data. The standard library's go/build path does not understand modules,
+// so the loader shells out to `go list -export` (the same toolchain `go
+// vet` drives) for package metadata and compiled export files, then parses
+// and checks the analysis set itself with go/parser + go/types. This keeps
+// the module at zero external dependencies.
+type Loader struct {
+	ModRoot string
+	ModPath string
+	Fset    *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	canon   *Canon
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader prepares a loader rooted at the module containing dir, priming
+// the export table from the full module dependency graph.
+func NewLoader(dir string) (*Loader, error) {
+	modFile, err := goOutput(dir, "env", "GOMOD")
+	if err != nil {
+		return nil, fmt.Errorf("lint: locating module root: %w", err)
+	}
+	modFile = strings.TrimSpace(modFile)
+	if modFile == "" || modFile == os.DevNull {
+		return nil, fmt.Errorf("lint: %s is not inside a Go module", dir)
+	}
+	modRoot := filepath.Dir(modFile)
+	modSrc, err := os.ReadFile(modFile)
+	if err != nil {
+		return nil, err
+	}
+	modPath := modulePath(modSrc)
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module path in %s", modFile)
+	}
+	l := &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	// One -deps walk over the whole module compiles (or reuses) export data
+	// for every package the analysis set can possibly import.
+	if _, err := l.list(true, "./..."); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod source.
+func modulePath(src []byte) string {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// list runs `go list -e -export -json` for patterns, recording every export
+// file it reports and returning the listed packages.
+func (l *Loader) list(deps bool, patterns ...string) ([]*listedPkg, error) {
+	args := []string{"list", "-e", "-export", "-json=ImportPath,Dir,Export,Name,GoFiles,Standard,DepOnly,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	out, err := goOutput(l.ModRoot, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds export data to the gc importer, listing a package on demand
+// when the priming walk did not cover it.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.exports[path]
+	if !ok {
+		if _, err := l.list(false, path); err != nil {
+			return nil, err
+		}
+		exp = l.exports[path]
+	}
+	if exp == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// Load parses and typechecks the module packages matching patterns
+// (default ./...), returning them in deterministic import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := l.list(false, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		p, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir typechecks the non-test .go files of one directory outside the
+// module's package graph — the fixture corpus under testdata — under the
+// given import path. Fixture imports of module packages resolve through
+// the same export table the real analysis uses.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses files and typechecks them as one package.
+func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// goOutput runs the go tool in dir and returns stdout.
+func goOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}

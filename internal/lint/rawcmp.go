@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+)
+
+// Rawcmp bars numeric raw comparators from ordering serialized keys with
+// bytes.Compare. Big-endian two's-complement integers and IEEE-754
+// doubles do not sort bytewise (negative values order above positive
+// ones) — the exact bug class PR 2's DoubleRawComparator fix removed.
+// Numeric comparators must decode or apply an order-preserving transform
+// (sign-bit XOR, total-order key); byte-lexicographic types (Text,
+// BytesWritable) keep bytes.Compare.
+var Rawcmp = &Analyzer{
+	Name: "rawcmp",
+	Doc:  "numeric raw comparators must not order serialized keys with bytes.Compare",
+	Run:  runRawcmp,
+}
+
+var numericComparator = regexp.MustCompile(`(V?Int|V?Long|Double|Float|Short)[A-Za-z]*RawComparator`)
+
+func runRawcmp(pass *Pass) []Diag {
+	info := pass.Pkg.Info
+	var diags []Diag
+	for _, fd := range funcDecls(pass.Pkg) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		recv := namedOf(info.Types[fd.Recv.List[0].Type].Type)
+		if recv == nil || !numericComparator.MatchString(recv.Obj().Name()) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(info, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "bytes" && fn.Name() == "Compare" {
+				diags = append(diags, Diag{Pos: call.Pos(), Message: fmt.Sprintf(
+					"%s compares serialized numeric keys with bytes.Compare; big-endian two's-complement/IEEE-754 encodings do not sort bytewise — decode or use an order-preserving transform (see types.DoubleRawComparator)",
+					recv.Obj().Name())})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,113 @@
+// Fixture corpus for closecheck: leaked streams must be flagged; closed,
+// escaped, and explicitly ignored ones must not.
+package closecheck
+
+import (
+	"os"
+
+	"m3r/internal/engine"
+	"m3r/internal/spill"
+)
+
+// leakNeverClosed pumps a stream it neither closes nor hands off.
+func leakNeverClosed(path string) (int, error) {
+	s, err := spill.OpenFile(path) // want `s obtained from OpenFile is never closed`
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// leakBlank discards the closeable result outright.
+func leakBlank(path string) error {
+	_, err := spill.OpenFile(path) // want `closeable result of OpenFile assigned to _`
+	return err
+}
+
+// leakExprStmt drops both results on the floor.
+func leakExprStmt(path string) {
+	spill.OpenFile(path) // want `closeable result of OpenFile discarded`
+}
+
+// leakOSFile leaks an os.File the same way.
+func leakOSFile(path string) bool {
+	f, err := os.Open(path) // want `f obtained from Open is never closed`
+	if err != nil {
+		return false
+	}
+	fi, err := f.Stat()
+	return err == nil && fi.Size() > 0
+}
+
+// closedDefer closes via defer.
+func closedDefer(path string) error {
+	s, err := spill.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	_, _, err = s.Next()
+	return err
+}
+
+// closedOnErrPath hands already-open streams to the shared teardown on the
+// error path and closes them individually afterwards.
+func closedOnErrPath(paths []string, seg spill.Segment) error {
+	var streams []*spill.Stream
+	for _, p := range paths {
+		s, err := spill.OpenSegment(p, seg)
+		if err != nil {
+			engine.CloseAllOnErr(streams)
+			return err
+		}
+		streams = append(streams, s)
+	}
+	for _, s := range streams {
+		s.Close()
+	}
+	return nil
+}
+
+// escapesReturn hands the obligation to the caller.
+func escapesReturn(path string) (*spill.Stream, error) {
+	s, err := spill.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// holder keeps a stream beyond one call.
+type holder struct {
+	s *spill.Stream
+}
+
+// escapesStore parks the stream in a longer-lived struct.
+func escapesStore(h *holder, path string) error {
+	s, err := spill.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	h.s = s
+	return nil
+}
+
+// ignoredLeak is a deliberate violation kept as an escape-hatch fixture.
+func ignoredLeak(path string) {
+	//lint:ignore closecheck fixture exercising the suppression path
+	s, err := spill.OpenFile(path)
+	if err != nil {
+		return
+	}
+	s.Next()
+}

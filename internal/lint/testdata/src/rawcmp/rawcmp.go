@@ -1,0 +1,67 @@
+// Fixture corpus for rawcmp: numeric raw comparators must not order
+// serialized keys bytewise.
+package rawcmp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+)
+
+// BadDoubleRawComparator is PR 2's bug class: IEEE-754 doubles do not
+// sort bytewise.
+type BadDoubleRawComparator struct{}
+
+func (BadDoubleRawComparator) CompareRaw(a, b []byte) int {
+	return bytes.Compare(a, b) // want `BadDoubleRawComparator compares serialized numeric keys with bytes.Compare`
+}
+
+// BadLongRawComparator: big-endian two's-complement longs do not either.
+type BadLongRawComparator struct{}
+
+func (BadLongRawComparator) CompareRaw(a, b []byte) int {
+	if len(a) != 8 || len(b) != 8 {
+		return bytes.Compare(a, b) // want `BadLongRawComparator compares serialized numeric keys`
+	}
+	return 0
+}
+
+// GoodDoubleRawComparator decodes into total order.
+type GoodDoubleRawComparator struct{}
+
+func (GoodDoubleRawComparator) CompareRaw(a, b []byte) int {
+	x := totalOrderKey(math.Float64frombits(binary.BigEndian.Uint64(a)))
+	y := totalOrderKey(math.Float64frombits(binary.BigEndian.Uint64(b)))
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+func totalOrderKey(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// FixtureTextRawComparator orders byte-lexicographic keys: bytes.Compare
+// is exactly right and must pass.
+type FixtureTextRawComparator struct{}
+
+func (FixtureTextRawComparator) CompareRaw(a, b []byte) int {
+	return bytes.Compare(a, b)
+}
+
+// IgnoredIntRawComparator is a deliberate violation under the escape
+// hatch.
+type IgnoredIntRawComparator struct{}
+
+func (IgnoredIntRawComparator) CompareRaw(a, b []byte) int {
+	//lint:ignore rawcmp fixture exercising the suppression path
+	return bytes.Compare(a, b)
+}

@@ -1,0 +1,55 @@
+// Fixture corpus for reservecheck in a package that never drains a
+// budget: every reservation must reach a Release on its own.
+package reservecheck
+
+import "m3r/internal/engine"
+
+// reserveRelease pairs the reservation with a release: clean.
+func reserveRelease(jb *engine.JobBudget, n int64) bool {
+	if !jb.Reserve(n) {
+		return false
+	}
+	jb.Release(n)
+	return true
+}
+
+// reserveViaHelper releases through a same-package helper: the call
+// closure must see it.
+func reserveViaHelper(jb *engine.JobBudget, n int64) bool {
+	if !jb.Reserve(n) {
+		return false
+	}
+	giveBack(jb, n)
+	return true
+}
+
+func giveBack(jb *engine.JobBudget, n int64) {
+	jb.Release(n)
+}
+
+// ignoresAdmission drops the admission result and has no reachable
+// release: both violations land on the same call.
+func ignoresAdmission(jb *engine.JobBudget, n int64) {
+	jb.Reserve(n) // want `admission result of Reserve ignored` `no Release/Drain is reachable`
+}
+
+// blankEviction checks admission but discards the eviction error.
+func blankEviction(jb *engine.JobBudget, n int64) bool {
+	ok, _, _ := jb.ReserveEvicting(n, nil) // want `error result of ReserveEvicting discarded`
+	if !ok {
+		return false
+	}
+	jb.Release(n)
+	return true
+}
+
+// leakReserve admits and keeps the bytes forever.
+func leakReserve(jb *engine.JobBudget, n int64) bool {
+	return jb.Reserve(n) // want `no Release/Drain is reachable`
+}
+
+// ignoredLeak is a deliberate violation under the escape hatch.
+func ignoredLeak(jb *engine.JobBudget, n int64) bool {
+	//lint:ignore reservecheck fixture exercising the suppression path
+	return jb.Reserve(n)
+}

@@ -1,0 +1,24 @@
+// Fixture corpus for reservecheck's drain backstop: a package whose job
+// teardown drains its budgets may hold reservations across function
+// boundaries (the engine's installRuns/cleanup split), so a reserve with
+// no local release is clean here — but discarded admission results still
+// are not.
+package reservecheck_drain
+
+import "m3r/internal/engine"
+
+// holdAcrossJob reserves without a local release; cleanup's Drain covers
+// it, as the m3r engine's end-of-job teardown does.
+func holdAcrossJob(jb *engine.JobBudget, n int64) bool {
+	return jb.Reserve(n)
+}
+
+// cleanup is the package's end-of-job teardown.
+func cleanup(jb *engine.JobBudget) int64 {
+	return jb.Drain()
+}
+
+// stillChecked: the drain backstop does not excuse ignoring admission.
+func stillChecked(jb *engine.JobBudget, n int64) {
+	jb.Reserve(n) // want `admission result of Reserve ignored`
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"m3r/internal/conf"
 	"m3r/internal/dfs"
 	"m3r/internal/hmrext"
 	"m3r/internal/kvstore"
@@ -28,7 +29,7 @@ const (
 	splitsRoot = "/.m3r-splits"
 	// attrCacheOnly marks paths whose data exists only in the cache
 	// (temporary outputs, §4.2.3).
-	attrCacheOnly = "m3r.cacheonly"
+	attrCacheOnly = conf.KeyM3RCacheOnly
 )
 
 // Cache is the engine's input/output key/value cache over the distributed

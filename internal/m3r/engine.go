@@ -333,7 +333,7 @@ func (e *Engine) SubmitControlled(userJob *conf.JobConf, lc *engine.JobLifecycle
 	if files := job.Get(conf.KeyDistributedCacheFiles); files != "" {
 		// In-memory places read the distributed cache straight from the
 		// filesystem; expose the standard task-side key.
-		job.Set("mapred.cache.localFiles", files)
+		job.Set(conf.KeyDistributedCacheLocalFiles, files)
 	}
 
 	rj, err := engine.Resolve(job)

@@ -1,0 +1,12 @@
+package m3r
+
+import (
+	"testing"
+
+	"m3r/internal/lint/leakcheck"
+)
+
+// TestMain fails the package when place goroutines, spill-queue workers,
+// or merge workers outlive the tests — the static loopcancel/closecheck
+// invariants' runtime counterpart (ROADMAP "Static analysis").
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -47,7 +47,7 @@ func AddNamedOutput(job *conf.JobConf, name, outputFormat, keyClass, valClass st
 }
 
 func namedOutputKey(name, field string) string {
-	return fmt.Sprintf("mapred.multipleoutputs.namedOutput.%s.%s", name, field)
+	return fmt.Sprintf("%s.namedOutput.%s.%s", KeyMultipleOutputs, name, field)
 }
 
 // MultipleOutputs manages the named output writers of one task.
